@@ -1,0 +1,25 @@
+# Convenience targets; all just wrap the documented commands.
+
+PYTHON ?= python3
+
+.PHONY: install test bench bench-paper examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# paper-fidelity runs: 100 boots per series, like Section 5.1
+bench-paper:
+	REPRO_BOOTS=100 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; done
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,69 @@
+"""Shared benchmark-harness plumbing.
+
+Environment knobs:
+
+* ``REPRO_BOOTS``  — measured boots per series (paper: 100; default 20)
+* ``REPRO_SCALE``  — kernel build scale divisor (DESIGN.md §7; default 16)
+
+All reported times are simulated milliseconds at paper scale; the harness
+prints the same rows/series the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis import BootSeries, run_boots
+from repro.artifacts import get_bzimage, get_kernel
+from repro.core import RandomizeMode
+from repro.host import HostStorage
+from repro.kernel import AWS, LUPINE, UBUNTU, KernelVariant
+from repro.monitor import BootFormat, Firecracker, Qemu, VmConfig
+from repro.simtime import CostModel, JitterModel
+
+N_BOOTS = int(os.environ.get("REPRO_BOOTS", "20"))
+SCALE = int(os.environ.get("REPRO_SCALE", "16"))
+#: run-to-run noise giving the paper-style min/max error bars
+JITTER_SIGMA = 0.02
+
+KERNEL_CONFIGS = [LUPINE, AWS, UBUNTU]
+
+VARIANT_FOR_MODE = {
+    RandomizeMode.NONE: KernelVariant.NOKASLR,
+    RandomizeMode.KASLR: KernelVariant.KASLR,
+    RandomizeMode.FGKASLR: KernelVariant.FGKASLR,
+}
+
+
+def make_vmm(qemu: bool = False) -> Firecracker:
+    costs = CostModel(scale=SCALE, jitter=JitterModel(sigma=JITTER_SIGMA))
+    cls = Qemu if qemu else Firecracker
+    return cls(HostStorage(), costs)
+
+
+def direct_cfg(config, mode: RandomizeMode, **kwargs) -> VmConfig:
+    kernel = get_kernel(config, VARIANT_FOR_MODE[mode], scale=SCALE)
+    return VmConfig(kernel=kernel, randomize=mode, **kwargs)
+
+
+def bzimage_cfg(
+    config, mode: RandomizeMode, codec: str, optimized: bool = False, **kwargs
+) -> VmConfig:
+    variant = VARIANT_FOR_MODE[mode]
+    kernel = get_kernel(config, variant, scale=SCALE)
+    bz = get_bzimage(config, variant, codec, scale=SCALE, optimized=optimized)
+    return VmConfig(
+        kernel=kernel,
+        boot_format=BootFormat.BZIMAGE,
+        bzimage=bz,
+        randomize=mode,
+        **kwargs,
+    )
+
+
+def measure(vmm, cfg, warm: bool = True, label: str | None = None) -> BootSeries:
+    return run_boots(vmm, cfg, n=N_BOOTS, warm=warm, label=label)
+
+
+def fmt_stats(stats) -> str:
+    return f"{stats.mean:7.2f} [{stats.min:7.2f},{stats.max:7.2f}]"

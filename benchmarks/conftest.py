@@ -1,0 +1,37 @@
+"""Benchmark harness conftest: result recording + terminal summary.
+
+Each experiment registers its reproduced table/figure text via the
+``record`` fixture; everything is echoed in the pytest terminal summary
+(so it survives output capture) and written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+_RESULTS: list[tuple[str, str]] = []
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def record():
+    """record(name, text): register one experiment's output."""
+
+    def _record(name: str, text: str) -> None:
+        _RESULTS.append((name, text))
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        safe = name.lower().replace(" ", "_").replace("/", "-")
+        (_RESULTS_DIR / f"{safe}.txt").write_text(text + "\n")
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _RESULTS:
+        return
+    terminalreporter.write_sep("=", "reproduced tables and figures")
+    for name, text in _RESULTS:
+        terminalreporter.write_sep("-", name)
+        terminalreporter.write_line(text)

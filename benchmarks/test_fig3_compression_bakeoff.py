@@ -1,0 +1,56 @@
+"""Figure 3 — compression bakeoff: bzImage boot time per codec.
+
+Boots each kernel's bzImage under all six Linux compression schemes
+(cached) and reports total boot time; LZ4 is expected to be the fastest
+booting codec (which is why the paper configures guests with LZ4).
+"""
+
+from __future__ import annotations
+
+from _common import KERNEL_CONFIGS, N_BOOTS, bzimage_cfg, fmt_stats, make_vmm, measure
+from repro.analysis import render_table
+from repro.core import RandomizeMode
+
+CODECS = ["gzip", "bzip2", "lzma", "xz", "lzo", "lz4"]
+
+
+def _run():
+    vmm = make_vmm()
+    results = {}
+    for config in KERNEL_CONFIGS:
+        for codec in CODECS:
+            cfg = bzimage_cfg(config, RandomizeMode.NONE, codec)
+            results[(config.name, codec)] = measure(vmm, cfg)
+    return results
+
+
+def test_fig3_compression_bakeoff(benchmark, record):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = []
+    for (kernel, codec), series in results.items():
+        rows.append(
+            [
+                kernel,
+                codec,
+                series.total.mean,
+                series.total.min,
+                series.total.max,
+                series.first.decompression_ms,
+            ]
+        )
+    table = render_table(
+        ["kernel", "codec", "boot ms", "min", "max", "decompress ms"],
+        rows,
+        title=f"Figure 3: compression bakeoff ({N_BOOTS} cached boots/series)",
+    )
+    record("fig3 compression bakeoff", table)
+
+    # Paper claim: LZ4 is the fastest-booting compression scheme.
+    for config in KERNEL_CONFIGS:
+        lz4 = results[(config.name, "lz4")].total.mean
+        for codec in CODECS:
+            if codec != "lz4":
+                assert lz4 <= results[(config.name, codec)].total.mean, (
+                    config.name,
+                    codec,
+                )

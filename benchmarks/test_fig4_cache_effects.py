@@ -1,0 +1,69 @@
+"""Figure 4 — cached vs uncached boots: bzImage (LZ4) vs direct vmlinux.
+
+Reproduces the crossover of Section 2.2: with a cold page cache the
+compressed bzImage wins (less I/O); once the kernel image is cached, the
+direct uncompressed boot wins (no bootstrap loader).
+"""
+
+from __future__ import annotations
+
+from _common import (
+    KERNEL_CONFIGS,
+    N_BOOTS,
+    bzimage_cfg,
+    direct_cfg,
+    make_vmm,
+    measure,
+)
+from repro.analysis import render_table
+from repro.core import RandomizeMode
+from repro.simtime import BootCategory
+
+
+def _run():
+    vmm = make_vmm()
+    results = {}
+    for config in KERNEL_CONFIGS:
+        for cached in (False, True):
+            direct = measure(vmm, direct_cfg(config, RandomizeMode.NONE), warm=cached)
+            bz = measure(
+                vmm, bzimage_cfg(config, RandomizeMode.NONE, "lz4"), warm=cached
+            )
+            results[(config.name, cached)] = (direct, bz)
+    return results
+
+
+def test_fig4_cache_effects(benchmark, record):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = []
+    for (kernel, cached), (direct, bz) in results.items():
+        state = "cached" if cached else "cold"
+        winner = "direct" if direct.total.mean < bz.total.mean else "bzImage"
+        gap = abs(direct.total.mean - bz.total.mean) / max(
+            direct.total.mean, bz.total.mean
+        )
+        rows.append(
+            [
+                kernel,
+                state,
+                direct.total.mean,
+                bz.total.mean,
+                direct.first.category_ms(BootCategory.IN_MONITOR),
+                winner,
+                f"{gap * 100:.0f}%",
+            ]
+        )
+    table = render_table(
+        ["kernel", "cache", "direct ms", "lz4 bzImage ms", "direct in-mon",
+         "winner", "gap"],
+        rows,
+        title=f"Figure 4: cache effects ({N_BOOTS} boots/series)",
+    )
+    record("fig4 cache effects", table)
+
+    # The crossover must hold for every kernel config.
+    for config in KERNEL_CONFIGS:
+        direct_cold, bz_cold = results[(config.name, False)]
+        direct_warm, bz_warm = results[(config.name, True)]
+        assert bz_cold.total.mean < direct_cold.total.mean, config.name
+        assert direct_warm.total.mean < bz_warm.total.mean, config.name

@@ -1,0 +1,62 @@
+"""Figure 5 — microbenchmark of each bootstrap-loader step.
+
+Breaks one LZ4 bzImage boot per kernel into the loader's individual steps;
+decompression is expected to dominate (the paper reports up to 73% of
+loader time).
+"""
+
+from __future__ import annotations
+
+from _common import KERNEL_CONFIGS, bzimage_cfg, make_vmm, measure
+from repro.analysis import render_table
+from repro.core import RandomizeMode
+from repro.simtime import BootStep
+
+_LOADER_STEPS = [
+    BootStep.LOADER_INIT,
+    BootStep.LOADER_HEAP_ZERO,
+    BootStep.LOADER_COPY_KERNEL,
+    BootStep.LOADER_DECOMPRESS,
+    BootStep.LOADER_ELF_PARSE,
+    BootStep.LOADER_SEGMENT_LOAD,
+    BootStep.LOADER_RELOCATE,
+    BootStep.LOADER_JUMP,
+]
+
+
+def _run():
+    vmm = make_vmm()
+    out = {}
+    for config in KERNEL_CONFIGS:
+        series = measure(vmm, bzimage_cfg(config, RandomizeMode.NONE, "lz4"))
+        out[config.name] = series.first
+    return out
+
+
+def test_fig5_bootstrap_breakdown(benchmark, record):
+    reports = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = []
+    shares = {}
+    for kernel, report in reports.items():
+        steps = {step: report.step_ms(step) for step in _LOADER_STEPS}
+        loader_total = sum(steps.values())
+        share = steps[BootStep.LOADER_DECOMPRESS] / loader_total
+        shares[kernel] = share
+        rows.append(
+            [kernel, loader_total]
+            + [steps[s] for s in _LOADER_STEPS]
+            + [f"{share * 100:.0f}%"]
+        )
+    table = render_table(
+        ["kernel", "loader total"]
+        + [s.value.removeprefix("loader_") for s in _LOADER_STEPS]
+        + ["decompress share"],
+        rows,
+        title="Figure 5: bootstrap loader step breakdown (LZ4 bzImage, ms)",
+    )
+    record("fig5 bootstrap breakdown", table)
+
+    # Decompression dominates loader time, approaching the paper's 73%.
+    assert max(shares.values()) > 0.55
+    for share in shares.values():
+        assert share > 0.35

@@ -1,0 +1,83 @@
+"""Section 7 — zygote/snapshot strategies vs. fresh in-monitor boots.
+
+Quantifies the trade-off the related-work section describes: restore-based
+platforms are an order of magnitude faster than cold boots but share one
+layout (ASLR nullified); Morula-style pools buy diversity with up-front
+boots; in-place rebase (enabled by the monitor holding vmlinux.relocs)
+gets per-instance layouts at restore-class latency.
+"""
+
+from __future__ import annotations
+
+from _common import N_BOOTS, direct_cfg, make_vmm, measure
+from repro.analysis import render_table
+from repro.core import RandomizeMode
+from repro.kernel import AWS
+from repro.snapshot import ZygotePool
+from repro.snapshot.zygote import ZygotePolicy
+
+ACQUISITIONS = 24
+POOL_SIZE = 4
+
+
+def _run():
+    vmm = make_vmm()
+
+    cold = measure(vmm, direct_cfg(AWS, RandomizeMode.KASLR))
+
+    def factory(i):
+        return direct_cfg(AWS, RandomizeMode.KASLR, seed=500 + i)
+
+    strategies = {}
+    for policy in ZygotePolicy:
+        pool = ZygotePool(vmm, factory, policy=policy, pool_size=POOL_SIZE)
+        fill_ms = pool.fill()
+        latencies, offsets = [], set()
+        for i in range(ACQUISITIONS):
+            result = pool.acquire(seed=7_000 + i)
+            latencies.append(result.latency_ms)
+            offsets.add(result.vm.layout.voffset)
+        strategies[policy] = (fill_ms, latencies, offsets)
+    return cold, strategies
+
+
+def test_snapshot_strategies(benchmark, record):
+    cold, strategies = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = [
+        ["cold boot (in-monitor KASLR)", f"{cold.total.mean:.2f}", "-",
+         str(N_BOOTS), "unbounded"],
+    ]
+    for policy, (fill_ms, latencies, offsets) in strategies.items():
+        rows.append(
+            [
+                f"zygote: {policy}",
+                f"{sum(latencies) / len(latencies):.2f}",
+                f"{fill_ms:.1f}",
+                str(len(offsets)),
+                "unbounded" if policy is ZygotePolicy.REBASE else str(len(offsets)),
+            ]
+        )
+    table = render_table(
+        ["strategy", "acquire ms", "up-front ms", "distinct layouts",
+         "diversity bound"],
+        rows,
+        title=f"Zygote strategies, aws kernel, {ACQUISITIONS} acquisitions",
+    )
+    record("snapshot strategies", table)
+
+    shared = strategies[ZygotePolicy.SHARED]
+    pool = strategies[ZygotePolicy.POOL]
+    rebase = strategies[ZygotePolicy.REBASE]
+
+    # restores are much faster than cold boots
+    assert max(shared[1]) < cold.total.mean / 3
+    # shared zygotes nullify ASLR; pools bound diversity at pool size
+    assert len(shared[2]) == 1
+    assert len(pool[2]) == POOL_SIZE
+    # rebase achieves per-acquisition diversity at near-restore latency
+    assert len(rebase[2]) > POOL_SIZE * 2
+    rebase_mean = sum(rebase[1]) / len(rebase[1])
+    shared_mean = sum(shared[1]) / len(shared[1])
+    assert rebase_mean < shared_mean * 3
+    # and pools pay ~POOL_SIZE x the up-front cost of a single zygote
+    assert pool[0] > 3 * shared[0]

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Attack surface: what one information leak is worth (Section 3.1).
+
+Boots kernels under base KASLR and FGKASLR, then simulates an attacker
+who obtains leaked kernel code pointers and tries to locate a catalog of
+ROP gadgets.  Under base KASLR a single leak de-randomizes the entire
+kernel; under FGKASLR each leak pins only one function.
+
+Run:  python examples/attack_surface.py
+"""
+
+import random
+
+from repro import (
+    AWS,
+    CostModel,
+    Firecracker,
+    HostStorage,
+    KernelVariant,
+    RandomizeMode,
+    VmConfig,
+    get_kernel,
+)
+from repro.security import GadgetCatalog, simulate_leak_attack
+from repro.security.attacks import expected_brute_force_guesses
+
+SCALE = 16
+N_GADGETS = 400
+
+
+def main() -> None:
+    vmm = Firecracker(HostStorage(), CostModel(scale=SCALE))
+    rng = random.Random(7)
+
+    for variant, mode in [
+        (KernelVariant.KASLR, RandomizeMode.KASLR),
+        (KernelVariant.FGKASLR, RandomizeMode.FGKASLR),
+    ]:
+        kernel = get_kernel(AWS, variant, scale=SCALE)
+        cfg = VmConfig(kernel=kernel, randomize=mode, seed=rng.getrandbits(32))
+        vmm.warm_caches(cfg)
+        report = vmm.boot(cfg)
+        layout = report.layout
+        catalog = GadgetCatalog.from_kernel(kernel, n_gadgets=N_GADGETS, seed=1)
+
+        print(f"== {kernel.name} ==")
+        print(f"  randomization entropy  {layout.total_entropy_bits:10.1f} bits")
+        print(f"  blind brute force      "
+              f"{expected_brute_force_guesses(layout.total_entropy_bits):.3g} "
+              f"expected guesses")
+        for n_leaks in (1, 5, 25, 100):
+            result = simulate_leak_attack(
+                kernel, layout, catalog, n_leaks=n_leaks, seed=3
+            )
+            print(f"  after {n_leaks:3d} leak(s): "
+                  f"{result.located}/{result.n_gadgets} gadgets located "
+                  f"({result.located_fraction * 100:5.1f}%)")
+        print()
+
+    print("Base KASLR collapses after one leak; FGKASLR makes each leak "
+          "worth a single function — the paper's case for shipping it in "
+          "the monitor, where it is finally affordable.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Kernel modules under in-monitor KASLR.
+
+KASLR randomizes the base address of the kernel *and* of loadable
+modules (Section 1).  This example boots a guest with in-monitor FGKASLR,
+insmod-s three modules, and shows:
+
+* module imports resolve to the randomized kernel symbols (via kallsyms,
+  which pays its deferred fixup on the first resolution);
+* the module region has its own offset — leaking a module pointer tells
+  an attacker nothing about the kernel base;
+* the loaded modules verify like the kernel itself does.
+
+Run:  python examples/kernel_modules.py
+"""
+
+from repro import (
+    AWS,
+    CostModel,
+    Firecracker,
+    HostStorage,
+    KernelVariant,
+    RandomizeMode,
+    VmConfig,
+    build_module,
+    get_kernel,
+)
+from repro.kernel.modules import MODULE_VADDR_BASE, verify_loaded_module
+
+SCALE = 16
+
+
+def main() -> None:
+    kernel = get_kernel(AWS, KernelVariant.FGKASLR, scale=SCALE)
+    vmm = Firecracker(HostStorage(), CostModel(scale=SCALE))
+    cfg = VmConfig(
+        kernel=kernel, randomize=RandomizeMode.FGKASLR, seed=11, lazy_kallsyms=True
+    )
+    vmm.warm_caches(cfg)
+    report, vm = vmm.boot_vm(cfg)
+    print(f"booted {kernel.name} in {report.total_ms:.2f} ms "
+          f"(kernel offset {report.layout.voffset:#x})")
+    print(f"kallsyms stale at boot (lazy fixup): {vm.kallsyms_stale}\n")
+
+    for name in ("virtio_net", "ext4", "nf_tables"):
+        module = build_module(name, kernel, n_functions=6, n_imports=10, seed=3)
+        before = vm.clock.now_ms
+        loaded = vm.load_module(module, seed=77)
+        checked = verify_loaded_module(vm, module, loaded)
+        print(f"insmod {name:<10} at {loaded.load_vaddr:#x} "
+              f"({vm.clock.now_ms - before:5.2f} ms, {checked} slots verified)")
+        example = next(iter(loaded.resolved_imports.items()), None)
+        if example:
+            sym, addr = example
+            print(f"  import {sym} -> {addr:#x} (randomized kernel address)")
+
+    print(f"\nkallsyms stale after first insmod: {vm.kallsyms_stale} "
+          "(the deferred fixup ran on first symbol resolution)")
+    module_offset = vm.loaded_modules[0].load_vaddr - MODULE_VADDR_BASE
+    print(f"module-region offset {module_offset:#x} "
+          f"!= kernel offset {vm.layout.voffset:#x}: "
+          f"{module_offset != vm.layout.voffset}")
+    print(f"module-base entropy: {vm.module_entropy_bits:.1f} bits")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Memory density: page merging vs randomization (Section 6).
+
+A host packing many microVMs wants content-based page merging (KSM), but
+fine-grained randomization makes every guest's text pages unique.  With
+in-monitor randomization the *host* owns the seed, so it can pin one
+randomization per tenant group and trade security granularity for density
+explicitly.
+
+This example measures reclaimable pages across a 6-VM fleet under four
+policies and prints the resulting density/diversity trade-off.
+
+Run:  python examples/memory_density.py
+"""
+
+import random
+
+from repro import CostModel, LUPINE, KernelVariant, RandomizeMode, get_kernel
+from repro.core import InMonitorRandomizer, RandoContext
+from repro.security import merge_report
+from repro.simtime import SimClock
+from repro.vm import GuestMemory
+
+SCALE = 16
+FLEET = 6
+MIB = 1024 * 1024
+
+
+def boot_guest(kernel, mode: RandomizeMode, seed: int) -> tuple[GuestMemory, int]:
+    """Randomize+load one guest; returns its memory and chosen offset."""
+    memory = GuestMemory(128 * MIB)
+    ctx = RandoContext.monitor(
+        SimClock(), CostModel(scale=SCALE), random.Random(seed)
+    )
+    layout, _ = InMonitorRandomizer().run(
+        kernel.elf, kernel.reloc_table, memory, ctx, mode,
+        guest_ram_bytes=memory.size, scale=SCALE,
+    )
+    return memory, layout.voffset
+
+
+def run_policy(name: str, kernel, mode: RandomizeMode, seeds: list[int]) -> None:
+    guests = [boot_guest(kernel, mode, seed) for seed in seeds]
+    report = merge_report(memory for memory, _ in guests)
+    layouts = len({off for _, off in guests})
+    print(f"{name:44s} reclaimable {report.reclaimed_nonzero_fraction * 100:5.1f}%"
+          f"  distinct layouts {layouts}")
+
+
+def main() -> None:
+    kaslr = get_kernel(LUPINE, KernelVariant.KASLR, scale=SCALE)
+    fgkaslr = get_kernel(LUPINE, KernelVariant.FGKASLR, scale=SCALE)
+    print(f"{FLEET}-VM fleet, lupine kernel — KSM-style page merge analysis\n")
+
+    run_policy("no randomization", kaslr, RandomizeMode.NONE, [0] * FLEET)
+    run_policy("FGKASLR, host-pinned shared seed", fgkaslr,
+               RandomizeMode.FGKASLR, [1234] * FLEET)
+    run_policy("base KASLR, per-VM seeds", kaslr,
+               RandomizeMode.KASLR, list(range(FLEET)))
+    run_policy("FGKASLR, per-VM seeds", fgkaslr,
+               RandomizeMode.FGKASLR, list(range(FLEET)))
+
+    print("\nShared-seed FGKASLR recovers nearly all of the density of an "
+          "unrandomized fleet while still randomizing against external "
+          "attackers — a policy only the monitor can implement.")
+
+
+if __name__ == "__main__":
+    main()

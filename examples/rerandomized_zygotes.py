@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Re-randomized zygotes: SAND-style VM reuse without layout reuse (§7).
+
+Serverless platforms avoid cold starts by restoring snapshots ("zygotes"),
+but every copy-on-write clone then shares one kernel layout — a single
+leaked pointer from any instance de-randomizes the whole fleet.  Because
+the *monitor* holds vmlinux.relocs under in-monitor KASLR, it can rebase
+each restored clone to a fresh offset in-place: relocation-table delta
+apply + page-table rebuild, no reboot.
+
+This script compares cold boots, plain restores, a Morula-style diverse
+pool, and rebase-on-restore, then demonstrates that a leak from one
+rebased clone does not locate gadgets in its siblings.
+
+Run:  python examples/rerandomized_zygotes.py
+"""
+
+from repro import (
+    AWS,
+    CostModel,
+    Firecracker,
+    HostStorage,
+    KernelVariant,
+    RandomizeMode,
+    VmConfig,
+    get_kernel,
+)
+from repro.security import GadgetCatalog, simulate_leak_attack
+from repro.snapshot import ZygotePool
+from repro.snapshot.zygote import ZygotePolicy
+
+SCALE = 16
+ACQUIRES = 12
+
+
+def main() -> None:
+    vmm = Firecracker(HostStorage(), CostModel(scale=SCALE))
+    kernel = get_kernel(AWS, KernelVariant.KASLR, scale=SCALE)
+
+    def factory(i: int) -> VmConfig:
+        return VmConfig(kernel=kernel, randomize=RandomizeMode.KASLR, seed=300 + i)
+
+    # Reference: a cold boot with in-monitor KASLR.
+    cfg = factory(0)
+    vmm.warm_caches(cfg)
+    cold = vmm.boot(cfg)
+    print(f"cold boot w/ in-monitor KASLR: {cold.total_ms:7.2f} ms\n")
+
+    clones = {}
+    for policy in ZygotePolicy:
+        pool = ZygotePool(vmm, factory, policy=policy, pool_size=4)
+        fill = pool.fill()
+        results = [pool.acquire(seed=8_000 + i) for i in range(ACQUIRES)]
+        mean = sum(r.latency_ms for r in results) / len(results)
+        layouts = {r.vm.layout.voffset for r in results}
+        clones[policy] = [r.vm for r in results]
+        print(f"zygote policy {policy.value:7s}: acquire {mean:6.2f} ms "
+              f"(up-front {fill:6.1f} ms), {len(layouts):2d} distinct layouts")
+
+    # Security payoff: leak one clone, attack another.
+    catalog = GadgetCatalog.from_kernel(kernel, n_gadgets=200, seed=2)
+    print("\nleak in clone #0, gadgets locatable in clone #1:")
+    for policy in (ZygotePolicy.SHARED, ZygotePolicy.REBASE):
+        a, b = clones[policy][0], clones[policy][1]
+        # attacker learns clone A's offset; it transfers iff B shares it
+        transferable = a.layout.voffset == b.layout.voffset
+        result = simulate_leak_attack(kernel, b.layout, catalog, n_leaks=1)
+        located = result.located if transferable else 0
+        print(f"  {policy.value:7s}: {located}/{result.n_gadgets} "
+              f"({'layout shared — leak transfers' if transferable else 'fresh layout — leak useless'})")
+
+    print("\nRebase-on-restore keeps restore-class latency while denying "
+          "cross-instance leak reuse entirely.")
+
+
+if __name__ == "__main__":
+    main()

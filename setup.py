@@ -1,0 +1,18 @@
+"""Setup shim.
+
+The evaluation environment has no network access and no ``wheel`` package,
+so PEP 517 editable installs (which shell out to ``bdist_wheel``) fail.
+This legacy ``setup.py`` lets ``pip install -e . --no-use-pep517
+--no-build-isolation`` (and plain ``pip install -e .`` on machines that do
+have wheel) work everywhere.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

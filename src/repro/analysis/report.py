@@ -1,0 +1,68 @@
+"""Plain-text tables and bar charts for benchmark output.
+
+The harness prints the same rows/series the paper's figures plot; these
+helpers keep that output readable in a terminal and in the captured
+``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(
+            "  ".join(
+                cell.rjust(widths[i]) if _numeric(cell) else cell.ljust(widths[i])
+                for i, cell in enumerate(row)
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_bars(
+    items: Sequence[tuple[str, float]],
+    width: int = 46,
+    unit: str = "ms",
+    title: str = "",
+) -> str:
+    """Horizontal bar chart scaled to the largest value."""
+    if not items:
+        return title
+    top = max(value for _, value in items) or 1.0
+    label_width = max(len(label) for label, _ in items)
+    lines = [title] if title else []
+    for label, value in items:
+        bar = "#" * max(1, round(value / top * width))
+        lines.append(f"{label.ljust(label_width)}  {bar} {value:.2f} {unit}")
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def _numeric(cell: str) -> bool:
+    try:
+        float(cell.rstrip("%xKMG"))
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,64 @@
+"""ASCII rendering of a boot timeline.
+
+Turns a :class:`~repro.simtime.trace.Timeline` into a Gantt-style chart:
+one row per boot phase (category), bars positioned proportionally in
+simulated time — the visual equivalent of the paper's stacked-bar boot
+breakdowns.
+"""
+
+from __future__ import annotations
+
+from repro.simtime.trace import BootCategory, Timeline
+
+_BAR = "█"
+_GAP = "·"
+
+
+def render_timeline(timeline: Timeline, width: int = 72) -> str:
+    """Render one boot as per-category tracks over a shared time axis."""
+    if not timeline.events:
+        return "(empty timeline)"
+    total_ns = timeline.events[-1].end_ns
+    if total_ns == 0:
+        return "(zero-length timeline)"
+
+    def column(ns: int) -> int:
+        return min(width - 1, int(ns / total_ns * width))
+
+    lines = [f"boot timeline — {total_ns / 1e6:.2f} ms total"]
+    label_width = max(len(c.value) for c in BootCategory)
+    for category in BootCategory:
+        track = [_GAP] * width
+        busy_ns = 0
+        for event in timeline.events:
+            if event.category is not category or event.duration_ns == 0:
+                continue
+            busy_ns += event.duration_ns
+            start, end = column(event.start_ns), column(event.end_ns)
+            for i in range(start, max(end, start + 1)):
+                track[i] = _BAR
+        lines.append(
+            f"{category.value.ljust(label_width)} |{''.join(track)}| "
+            f"{busy_ns / 1e6:8.2f} ms"
+        )
+    lines.append(
+        " " * label_width
+        + f"  0{'ms'.rjust(width - 2)}"
+    )
+    return "\n".join(lines)
+
+
+def render_step_ranking(timeline: Timeline, top: int = 10) -> str:
+    """The ``top`` costliest steps of a boot, largest first."""
+    totals = sorted(
+        timeline.step_totals_ns().items(), key=lambda kv: -kv[1]
+    )[:top]
+    if not totals:
+        return "(no steps)"
+    peak = totals[0][1] or 1
+    lines = []
+    name_width = max(len(step.value) for step, _ in totals)
+    for step, ns in totals:
+        bar = "#" * max(1, round(ns / peak * 32))
+        lines.append(f"{step.value.ljust(name_width)}  {bar} {ns / 1e6:.3f} ms")
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Memoized build artifacts shared by tests, examples, and benchmarks.
+
+Kernel builds and (especially) bzImage compression are the expensive parts
+of the simulation; every experiment over the same (config, variant, scale,
+seed, codec) tuple reuses one artifact, just as the paper reuses one set of
+built kernels across all runs.
+"""
+
+from __future__ import annotations
+
+from repro.bzimage.build import build_bzimage
+from repro.bzimage.format import BzImage
+from repro.kernel.build import build_kernel
+from repro.kernel.config import PRESETS, KernelConfig, KernelVariant
+from repro.kernel.image import KernelImage
+
+_KERNELS: dict[tuple[str, KernelVariant, int, int], KernelImage] = {}
+_BZIMAGES: dict[tuple[str, KernelVariant, int, int, str, bool], BzImage] = {}
+
+#: default build scale for benchmarks (DESIGN.md §7)
+BENCH_SCALE = 16
+
+
+def get_kernel(
+    config: KernelConfig | str,
+    variant: KernelVariant,
+    scale: int = BENCH_SCALE,
+    seed: int = 1,
+) -> KernelImage:
+    """Build (or fetch) a kernel image."""
+    cfg = PRESETS[config] if isinstance(config, str) else config
+    key = (cfg.name, variant, scale, seed)
+    if key not in _KERNELS:
+        _KERNELS[key] = build_kernel(cfg, variant, scale=scale, seed=seed)
+    return _KERNELS[key]
+
+
+def get_bzimage(
+    config: KernelConfig | str,
+    variant: KernelVariant,
+    codec: str,
+    scale: int = BENCH_SCALE,
+    seed: int = 1,
+    optimized: bool = False,
+) -> BzImage:
+    """Build (or fetch) a bzImage for the given kernel and codec."""
+    cfg = PRESETS[config] if isinstance(config, str) else config
+    key = (cfg.name, variant, scale, seed, codec, optimized)
+    if key not in _BZIMAGES:
+        kernel = get_kernel(cfg, variant, scale=scale, seed=seed)
+        _BZIMAGES[key] = build_bzimage(kernel, codec, optimized=optimized)
+    return _BZIMAGES[key]
+
+
+def clear_cache() -> None:
+    """Drop all memoized artifacts (used by tests)."""
+    _KERNELS.clear()
+    _BZIMAGES.clear()

@@ -1,0 +1,157 @@
+"""Bootstrap-loader simulation.
+
+Performs the numbered steps of a bzImage boot from Section 3.3:
+
+1. the monitor has already placed the bzImage in guest memory and jumped
+   to the loader entry point;
+2. the loader copies the compressed kernel out of the way for in-place
+   decompression (*eliminated* by the optimized layout);
+3. the kernel is decompressed to its run location (*eliminated* when the
+   payload is uncompressed and pre-aligned);
+4. the loader parses the ELF, loads segments, self-randomizes if
+   configured, and jumps to ``startup_64``.
+
+The randomization itself is the shared :class:`~repro.core.InMonitorRandomizer`
+pipeline running under a *guest* :class:`~repro.core.RandoContext` — in-guest
+entropy costs, bootstrap-attributed trace events, and the in-place shuffle
+that needs a scratch copy of the whole text region.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.bzimage.format import BzImage
+from repro.compress import get_codec
+from repro.core.context import RandoContext
+from repro.core.inmonitor import InMonitorRandomizer, RandomizeMode
+from repro.core.layout_result import LayoutResult
+from repro.core.loading import LoadedImage
+from repro.core.policy import RandomizationPolicy
+from repro.elf.reader import ElfImage
+from repro.elf.relocs import RelocationTable
+from repro.errors import BzImageError
+from repro.simtime.clock import SimClock
+from repro.simtime.costs import CostModel
+from repro.simtime.trace import BootCategory, BootStep
+from repro.vm.memory import GuestMemory
+from repro.vm.portio import (
+    MILESTONE_DECOMPRESS_END,
+    MILESTONE_DECOMPRESS_START,
+    MILESTONE_LOADER_ENTRY,
+    TRACE_PORT,
+    PortIoBus,
+)
+
+
+@dataclass
+class LoaderOptions:
+    """Which optional work the loader performs.
+
+    The defaults match the paper's apples-to-apples comparison loader
+    (Section 4.3): kallsyms fixup and ORC updates removed.  Enable them to
+    model the stock FGKASLR C implementation.
+    """
+
+    kallsyms_fixup: bool = False
+    orc_fixup: bool = False
+    policy: RandomizationPolicy = field(default_factory=RandomizationPolicy)
+
+
+class BootstrapLoader:
+    """Simulated in-guest bootstrap loader."""
+
+    def __init__(self, options: LoaderOptions | None = None) -> None:
+        self.options = options or LoaderOptions()
+
+    def run(
+        self,
+        bzimage: BzImage,
+        memory: GuestMemory,
+        clock: SimClock,
+        costs: CostModel,
+        rng: random.Random,
+        mode: RandomizeMode,
+        guest_ram_bytes: int,
+        scale: int = 1,
+        bus: PortIoBus | None = None,
+    ) -> tuple[LayoutResult, LoadedImage]:
+        """Boot the bzImage; returns the final layout and load info."""
+        header = bzimage.header
+        ctx = RandoContext.loader(clock, costs, rng)
+        if bus is not None:
+            bus.write(TRACE_PORT, MILESTONE_LOADER_ENTRY)
+
+        # Step 1b: the loader's own bring-up — stack, GDT/IDT, early page
+        # tables, its .bss, and the boot heap (FGKASLR's is up to 8x larger
+        # and the zeroing cost shows up in Bootstrap Setup; Section 5.2).
+        ctx.charge(costs.loader_init(), BootStep.LOADER_INIT, label="loader bring-up")
+        ctx.charge(
+            costs.loader_pagetable(),
+            BootStep.LOADER_INIT,
+            label="early page tables (identity + kernel map)",
+        )
+        # heap_size is in (scaled) image bytes; the cost model projects
+        # byte counts back to paper scale.
+        ctx.charge(
+            costs.loader_heap_zero_ns(header.heap_size),
+            BootStep.LOADER_HEAP_ZERO,
+            label=f"zero {header.heap_size} byte boot heap",
+        )
+
+        # Step 2: move the compressed payload aside for in-place
+        # decompression (skipped entirely by the optimized layout).
+        if not header.optimized:
+            ctx.charge(
+                costs.loader_memcpy_ns(header.payload_size),
+                BootStep.LOADER_COPY_KERNEL,
+                label="copy compressed kernel out of the way",
+            )
+
+        # Step 3: decompress (a plain copy for codec "none").
+        if bus is not None:
+            bus.write(TRACE_PORT, MILESTONE_DECOMPRESS_START)
+        codec = get_codec(header.codec)
+        blob = codec.decompress(bzimage.payload())
+        if not header.optimized:
+            clock.charge(
+                costs.decompress_ns(header.codec, len(blob)),
+                category=BootCategory.DECOMPRESSION,
+                step=BootStep.LOADER_DECOMPRESS,
+                label=f"{header.codec} decompress {len(blob)} bytes",
+            )
+        if bus is not None:
+            bus.write(TRACE_PORT, MILESTONE_DECOMPRESS_END)
+
+        vmlinux, relocs_blob = bzimage.split_decompressed(blob)
+        try:
+            elf = ElfImage(vmlinux)
+        except Exception as exc:  # corrupt payloads surface as boot failures
+            raise BzImageError(f"decompressed payload is not a vmlinux: {exc}") from exc
+        table = (
+            RelocationTable.decode(relocs_blob) if relocs_blob is not None else None
+        )
+
+        # Steps 4-5: parse / load / self-randomize / fix tables.
+        randomizer = InMonitorRandomizer(
+            policy=self.options.policy,
+            lazy_kallsyms=not self.options.kallsyms_fixup,
+            update_orc=self.options.orc_fixup,
+        )
+        # Decompression already wrote the image to its run location, so
+        # segment "loading" is in place — no extra bulk copy
+        # (charge_load_memcpy stays False for both layouts).
+        layout, loaded = randomizer.run(
+            elf,
+            table,
+            memory,
+            ctx,
+            mode,
+            guest_ram_bytes=guest_ram_bytes,
+            scale=scale,
+            in_place=True,
+        )
+
+        ctx.charge(costs.loader_jump(), BootStep.LOADER_JUMP, label="jump to kernel")
+        return layout, loaded

@@ -1,0 +1,16 @@
+"""The bzImage format: bootstrap loader + (compressed) kernel + relocs.
+
+Figure 2 of the paper: a bzImage concatenates a small bootstrap-loader
+program with a compressed blob that, when decompressed, yields the
+executable vmlinux followed by its relocation entries.  This package
+models that container byte-for-byte: a setup header (the Linux boot
+protocol handshake), a loader stub, and a payload produced by any codec
+from :mod:`repro.compress` — including ``none`` and the paper's
+``compression-none-optimized`` layout, which aligns the uncompressed
+payload so the loader can jump to it in place (Section 3.3).
+"""
+
+from repro.bzimage.build import build_bzimage
+from repro.bzimage.format import BzImage, SetupHeader
+
+__all__ = ["BzImage", "SetupHeader", "build_bzimage"]

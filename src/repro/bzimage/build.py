@@ -1,0 +1,84 @@
+"""bzImage linker.
+
+Concatenates the bootstrap-loader stub with the (optionally compressed)
+``vmlinux || vmlinux.relocs`` payload, per Figure 2.  In
+``optimized=True`` mode it produces the paper's compression-none-optimized
+layout (Section 3.3): the payload stays uncompressed and is padded so the
+kernel sits at a ``MIN_KERNEL_ALIGN``-aligned file position, letting the
+loader execute it in place with no copy.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bzimage.format import FLAG_OPTIMIZED, HEADER_SIZE, BzImage, SetupHeader
+from repro.compress import get_codec
+from repro.errors import BzImageError
+from repro.kernel import layout as kl
+from repro.kernel.config import KernelVariant
+from repro.kernel.image import KernelImage
+
+#: bootstrap-loader stub size at paper scale (decompressor + ELF loader +
+#: randomization code); with alignment padding this reproduces Table 1's
+#: ~2 MiB bzImage-over-vmlinux overhead for uncompressed payloads
+LOADER_STUB_BYTES = 768 * 1024
+
+#: boot heap sizes (paper scale): FGKASLR needs a copy of the whole text
+#: region, "up to eight times" the KASLR heap (Section 5.2)
+_HEAP_NONE = 16 * 1024
+
+
+def _loader_stub(scale: int) -> bytes:
+    """Deterministic stand-in bytes for the bootstrap-loader program."""
+    size = max(LOADER_STUB_BYTES // scale, 4096)
+    rng = random.Random(0x10ADE7)  # fixed: the loader binary never varies
+    return rng.randbytes(size)
+
+
+def _heap_size(kernel: KernelImage) -> int:
+    if kernel.variant is KernelVariant.FGKASLR:
+        return kernel.config.text_bytes  # scratch copy of the text region
+    if kernel.variant is KernelVariant.KASLR:
+        return max(kernel.config.text_bytes // 8, _HEAP_NONE)
+    return _HEAP_NONE
+
+
+def build_bzimage(
+    kernel: KernelImage, codec_name: str, optimized: bool = False
+) -> BzImage:
+    """Link ``kernel`` into a bzImage using ``codec_name``.
+
+    ``optimized`` selects compression-none-optimized: it requires the
+    ``none`` codec and aligns the payload for in-place execution.
+    """
+    if optimized and codec_name != "none":
+        raise BzImageError(
+            "the optimized layout only applies to uncompressed payloads"
+        )
+    codec = get_codec(codec_name)
+    blob = kernel.vmlinux + (kernel.relocs or b"")
+    payload = codec.compress(blob)
+    loader = _loader_stub(kernel.scale)
+
+    if optimized:
+        align = max(kl.KERNEL_ALIGN // kernel.scale, 4096)
+    else:
+        align = 512
+    payload_offset = kl.align_up(HEADER_SIZE + len(loader), align)
+
+    header = SetupHeader(
+        codec=codec_name,
+        loader_size=len(loader),
+        payload_offset=payload_offset,
+        payload_size=len(payload),
+        vmlinux_size=len(kernel.vmlinux),
+        relocs_size=len(kernel.relocs or b""),
+        kernel_alignment=kl.KERNEL_ALIGN,
+        heap_size=_heap_size(kernel),
+        flags=FLAG_OPTIMIZED if optimized else 0,
+    )
+    head = header.pack()
+    pad = b"\x00" * (payload_offset - HEADER_SIZE - len(loader))
+    data = head + loader + pad + payload
+    return BzImage(data=data, header=header)

@@ -1,0 +1,130 @@
+"""bzImage container layout and setup header."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import BzImageError
+
+#: "HdrS", as the real boot protocol requires at offset 0x202
+BZ_MAGIC = b"HdrS"
+_HEADER_FMT = "<4sHH8sIIIIIIIB3x"
+HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+BZ_VERSION = 1
+
+#: setup-header flag: payload is uncompressed and pre-aligned so the loader
+#: can execute the kernel in place (compression-none-optimized, Section 3.3)
+FLAG_OPTIMIZED = 1 << 0
+
+
+@dataclass
+class SetupHeader:
+    """The monitor/loader handshake data at the front of a bzImage."""
+
+    codec: str
+    loader_size: int
+    payload_offset: int
+    payload_size: int
+    vmlinux_size: int  # decompressed ELF size
+    relocs_size: int  # decompressed relocs appendix size (0 if none)
+    kernel_alignment: int
+    heap_size: int  # boot heap the loader must set up
+    flags: int = 0
+
+    @property
+    def optimized(self) -> bool:
+        return bool(self.flags & FLAG_OPTIMIZED)
+
+    def pack(self) -> bytes:
+        codec_bytes = self.codec.encode("ascii")
+        if len(codec_bytes) > 8:
+            raise BzImageError(f"codec name too long for header: {self.codec!r}")
+        return struct.pack(
+            _HEADER_FMT,
+            BZ_MAGIC,
+            BZ_VERSION,
+            0,
+            codec_bytes.ljust(8, b"\x00"),
+            self.loader_size,
+            self.payload_offset,
+            self.payload_size,
+            self.vmlinux_size,
+            self.relocs_size,
+            self.kernel_alignment,
+            self.heap_size,
+            self.flags,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "SetupHeader":
+        if len(data) < HEADER_SIZE:
+            raise BzImageError(f"bzImage truncated: {len(data)} bytes")
+        (
+            magic,
+            version,
+            _pad,
+            codec_bytes,
+            loader_size,
+            payload_offset,
+            payload_size,
+            vmlinux_size,
+            relocs_size,
+            kernel_alignment,
+            heap_size,
+            flags,
+        ) = struct.unpack_from(_HEADER_FMT, data, 0)
+        if magic != BZ_MAGIC:
+            raise BzImageError(f"bad bzImage magic {magic!r}")
+        if version != BZ_VERSION:
+            raise BzImageError(f"unsupported bzImage version {version}")
+        return cls(
+            codec=codec_bytes.rstrip(b"\x00").decode("ascii"),
+            loader_size=loader_size,
+            payload_offset=payload_offset,
+            payload_size=payload_size,
+            vmlinux_size=vmlinux_size,
+            relocs_size=relocs_size,
+            kernel_alignment=kernel_alignment,
+            heap_size=heap_size,
+            flags=flags,
+        )
+
+
+@dataclass
+class BzImage:
+    """A complete bzImage file."""
+
+    data: bytes
+    header: SetupHeader
+
+    @classmethod
+    def parse(cls, data: bytes) -> "BzImage":
+        header = SetupHeader.unpack(data)
+        end = header.payload_offset + header.payload_size
+        if end > len(data):
+            raise BzImageError(
+                f"payload [{header.payload_offset}, {end}) exceeds image size "
+                f"{len(data)}"
+            )
+        return cls(data=bytes(data), header=header)
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    def payload(self) -> bytes:
+        h = self.header
+        return self.data[h.payload_offset : h.payload_offset + h.payload_size]
+
+    def split_decompressed(self, blob: bytes) -> tuple[bytes, bytes | None]:
+        """Split a decompressed payload into (vmlinux, relocs)."""
+        h = self.header
+        if len(blob) != h.vmlinux_size + h.relocs_size:
+            raise BzImageError(
+                f"decompressed payload is {len(blob)} bytes, header promises "
+                f"{h.vmlinux_size}+{h.relocs_size}"
+            )
+        vmlinux = blob[: h.vmlinux_size]
+        relocs = blob[h.vmlinux_size :] if h.relocs_size else None
+        return vmlinux, relocs

@@ -1,0 +1,276 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro boot    --kernel aws --mode fgkaslr [--format bzimage ...]
+    python -m repro sizes                     # Table 1
+    python -m repro codecs  --kernel lupine   # compression stats
+    python -m repro lebench                   # Figure 11 summary
+    python -m repro entropy --kernel aws      # randomization entropy / leaks
+
+All times are simulated milliseconds at paper scale (see DESIGN.md §7).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import render_table, run_boots
+from repro.artifacts import get_bzimage, get_kernel
+from repro.compress import measure as measure_codec
+from repro.core import RandomizeMode
+from repro.host import HostStorage
+from repro.kernel import PRESETS, KernelVariant
+from repro.monitor import BootFormat, BootProtocol, Firecracker, Qemu, VmConfig
+from repro.simtime import CostModel, JitterModel
+
+_MODE_VARIANT = {
+    RandomizeMode.NONE: KernelVariant.NOKASLR,
+    RandomizeMode.KASLR: KernelVariant.KASLR,
+    RandomizeMode.FGKASLR: KernelVariant.FGKASLR,
+}
+
+
+def _make_vmm(args) -> Firecracker:
+    costs = CostModel(scale=args.scale, jitter=JitterModel(sigma=args.jitter))
+    cls = Qemu if getattr(args, "qemu", False) else Firecracker
+    return cls(HostStorage(), costs)
+
+
+def _build_cfg(args) -> VmConfig:
+    mode = RandomizeMode(args.mode)
+    kernel = get_kernel(args.kernel, _MODE_VARIANT[mode], scale=args.scale)
+    if args.format == "bzimage":
+        bz = get_bzimage(
+            args.kernel,
+            _MODE_VARIANT[mode],
+            args.codec,
+            scale=args.scale,
+            optimized=args.optimized,
+        )
+        return VmConfig(
+            kernel=kernel,
+            boot_format=BootFormat.BZIMAGE,
+            bzimage=bz,
+            randomize=mode,
+            mem_mib=args.mem,
+            seed=args.seed,
+        )
+    return VmConfig(
+        kernel=kernel,
+        randomize=mode,
+        boot_protocol=BootProtocol(args.protocol),
+        mem_mib=args.mem,
+        seed=args.seed,
+    )
+
+
+def _cmd_boot(args) -> int:
+    vmm = _make_vmm(args)
+    cfg = _build_cfg(args)
+    if args.boots > 1:
+        series = run_boots(vmm, cfg, n=args.boots, warm=not args.cold)
+        print(
+            render_table(
+                ["metric", "mean", "min", "max"],
+                [["total ms", series.total.mean, series.total.min, series.total.max]]
+                + [
+                    [name, stats, "", ""]
+                    for name, stats in series.breakdown_means().items()
+                ],
+                title=f"{cfg.kernel.name} x{args.boots} boots "
+                f"({'cold' if args.cold else 'cached'})",
+            )
+        )
+        return 0
+    if not args.cold:
+        vmm.warm_caches(cfg)
+    else:
+        cfg.drop_caches = True
+    report = vmm.boot(cfg)
+    print(report.summary())
+    if args.timeline:
+        from repro.analysis import render_timeline
+
+        print(render_timeline(report.timeline))
+    for step, ms in sorted(report.steps_ms().items(), key=lambda kv: -kv[1]):
+        if ms > 0:
+            print(f"  {step:<26} {ms:9.3f} ms")
+    layout = report.layout
+    if layout.randomized:
+        print(f"  virtual offset: {layout.voffset:#x} "
+              f"({layout.total_entropy_bits:.1f} bits of entropy)")
+    print(f"  verified {report.verification.functions_checked} functions / "
+          f"{report.verification.sites_checked} relocation sites")
+    return 0
+
+
+def _cmd_sizes(args) -> int:
+    rows = []
+    for name in ("lupine", "aws", "ubuntu"):
+        for variant in KernelVariant:
+            kernel = get_kernel(name, variant, scale=args.scale)
+            bz_none = get_bzimage(name, variant, "none", scale=args.scale)
+            bz_lz4 = get_bzimage(name, variant, "lz4", scale=args.scale)
+            mb = 1024 * 1024 / args.scale  # paper-scale MiB per actual byte
+            rows.append(
+                [
+                    kernel.name,
+                    f"{kernel.vmlinux_size / mb:.1f}M",
+                    f"{bz_none.size / mb:.1f}M",
+                    f"{bz_lz4.size / mb:.1f}M",
+                    f"{kernel.relocs_size * args.scale // 1024}K"
+                    if kernel.relocs_size
+                    else "N/A",
+                ]
+            )
+    print(
+        render_table(
+            ["kernel", "vmlinux", "bzImage(none)", "bzImage(lz4)", "relocs"],
+            rows,
+            title="Table 1 (paper scale)",
+        )
+    )
+    return 0
+
+
+def _cmd_codecs(args) -> int:
+    kernel = get_kernel(args.kernel, KernelVariant.KASLR, scale=args.scale)
+    rows = []
+    for codec in ("none", "lz4", "lzo", "gzip", "bzip2", "xz", "lzma"):
+        stats = measure_codec(codec, kernel.vmlinux)
+        rows.append([codec, f"{stats.ratio:.3f}", f"{stats.savings_pct:.1f}%"])
+    print(
+        render_table(
+            ["codec", "ratio", "savings"],
+            rows,
+            title=f"compression of {kernel.name} vmlinux",
+        )
+    )
+    return 0
+
+
+def _cmd_lebench(args) -> int:
+    from repro.lebench import run_lebench
+
+    vmm = _make_vmm(args)
+    results = {}
+    for mode in (RandomizeMode.NONE, RandomizeMode.KASLR, RandomizeMode.FGKASLR):
+        kernel = get_kernel(args.kernel, _MODE_VARIANT[mode], scale=args.scale)
+        cfg = VmConfig(kernel=kernel, randomize=mode, seed=args.seed)
+        vmm.warm_caches(cfg)
+        report = vmm.boot(cfg)
+        results[mode] = run_lebench(kernel, report.layout)
+    base = results[RandomizeMode.NONE]
+    rows = [
+        [
+            name,
+            f"{results[RandomizeMode.KASLR].normalized_to(base)[name]:.3f}",
+            f"{results[RandomizeMode.FGKASLR].normalized_to(base)[name]:.3f}",
+        ]
+        for name in base.by_name()
+    ]
+    print(
+        render_table(
+            ["test", "kaslr", "fgkaslr"],
+            rows,
+            title=f"LEBench normalized to {args.kernel}-nokaslr",
+        )
+    )
+    return 0
+
+
+def _cmd_entropy(args) -> int:
+    from repro.security import GadgetCatalog, simulate_leak_attack
+
+    vmm = _make_vmm(args)
+    for mode in (RandomizeMode.KASLR, RandomizeMode.FGKASLR):
+        kernel = get_kernel(args.kernel, _MODE_VARIANT[mode], scale=args.scale)
+        cfg = VmConfig(kernel=kernel, randomize=mode, seed=args.seed)
+        vmm.warm_caches(cfg)
+        report = vmm.boot(cfg)
+        catalog = GadgetCatalog.from_kernel(kernel, n_gadgets=200, seed=0)
+        leak = simulate_leak_attack(kernel, report.layout, catalog, n_leaks=1)
+        print(f"{kernel.name}: {report.layout.total_entropy_bits:.1f} bits; "
+              f"one leak locates {leak.located_fraction * 100:.1f}% of gadgets")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments import run_experiment
+
+    result = run_experiment(args.id, boots=args.boots, scale=args.scale)
+    print(result.table())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--scale", type=int, default=16,
+                        help="kernel build scale divisor (default 16)")
+    common.add_argument("--jitter", type=float, default=0.0,
+                        help="run-to-run noise sigma (default 0)")
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="In-monitor (FG)KASLR reproduction (EuroSys 2022)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    boot = sub.add_parser("boot", parents=[common],
+                          help="boot one microVM and print the breakdown")
+    boot.add_argument("--kernel", choices=sorted(PRESETS), default="aws")
+    boot.add_argument("--mode", choices=[m.value for m in RandomizeMode],
+                      default="kaslr")
+    boot.add_argument("--format", choices=["vmlinux", "bzimage"], default="vmlinux")
+    boot.add_argument("--codec", default="lz4")
+    boot.add_argument("--optimized", action="store_true",
+                      help="compression-none-optimized bzImage layout")
+    boot.add_argument("--protocol", choices=[p.value for p in BootProtocol],
+                      default="linux64")
+    boot.add_argument("--mem", type=int, default=256, help="guest MiB")
+    boot.add_argument("--seed", type=int, default=1)
+    boot.add_argument("--boots", type=int, default=1, help="measure N boots")
+    boot.add_argument("--cold", action="store_true", help="drop caches first")
+    boot.add_argument("--qemu", action="store_true", help="QEMU monitor profile")
+    boot.add_argument("--timeline", action="store_true",
+                      help="render an ASCII Gantt of the boot")
+    boot.set_defaults(func=_cmd_boot)
+
+    sizes = sub.add_parser("sizes", parents=[common], help="regenerate Table 1")
+    sizes.set_defaults(func=_cmd_sizes)
+
+    codecs = sub.add_parser("codecs", parents=[common], help="compression stats for a kernel")
+    codecs.add_argument("--kernel", choices=sorted(PRESETS), default="lupine")
+    codecs.set_defaults(func=_cmd_codecs)
+
+    lebench = sub.add_parser("lebench", parents=[common], help="Figure 11 summary")
+    lebench.add_argument("--kernel", choices=sorted(PRESETS), default="aws")
+    lebench.add_argument("--seed", type=int, default=1)
+    lebench.set_defaults(func=_cmd_lebench)
+
+    entropy = sub.add_parser("entropy", parents=[common], help="entropy and value-of-a-leak")
+    entropy.add_argument("--kernel", choices=sorted(PRESETS), default="aws")
+    entropy.add_argument("--seed", type=int, default=1)
+    entropy.set_defaults(func=_cmd_entropy)
+
+    experiment = sub.add_parser(
+        "experiment", parents=[common],
+        help="run an artifact experiment (Appendix A: e1..e5)",
+    )
+    experiment.add_argument("id", choices=["e1", "e2", "e3", "e4", "e5"])
+    experiment.add_argument("--boots", type=int, default=20)
+    experiment.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

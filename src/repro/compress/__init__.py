@@ -1,0 +1,44 @@
+"""Kernel-payload compression codecs.
+
+Linux can compress a bzImage payload with six schemes (the Figure 3
+bakeoff).  This package provides all six plus ``none``:
+
+=========  =======================================================
+name       implementation
+=========  =======================================================
+``none``   passthrough (compression-none from Section 3.3)
+``gzip``   :mod:`zlib` (DEFLATE with gzip-style header)
+``bzip2``  :mod:`bz2`
+``lzma``   :mod:`lzma` (legacy ``.lzma`` container)
+``xz``     :mod:`lzma` (``.xz`` container)
+``lz4``    from-scratch LZ4 block format (:mod:`repro.compress.lz4c`)
+``lzo``    from-scratch LZO1X-style byte code (:mod:`repro.compress.lzoc`)
+=========  =======================================================
+
+*Simulated* decompression time is charged by the cost model from calibrated
+per-codec throughputs; the codecs themselves do the real byte work so
+compressed sizes (and therefore I/O costs) are genuine.
+"""
+
+from repro.compress.base import Codec, available_codecs, get_codec, register_codec
+from repro.compress.lz4c import Lz4Codec
+from repro.compress.lzoc import LzoCodec
+from repro.compress.metrics import CompressionStats, measure
+from repro.compress.nonec import NoneCodec
+from repro.compress.stdlib_codecs import Bzip2Codec, GzipCodec, LzmaCodec, XzCodec
+
+__all__ = [
+    "Codec",
+    "CompressionStats",
+    "available_codecs",
+    "get_codec",
+    "measure",
+    "register_codec",
+    "Bzip2Codec",
+    "GzipCodec",
+    "Lz4Codec",
+    "LzmaCodec",
+    "LzoCodec",
+    "NoneCodec",
+    "XzCodec",
+]

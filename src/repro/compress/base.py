@@ -1,0 +1,58 @@
+"""Codec interface and registry."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.errors import UnknownCodecError
+
+_REGISTRY: dict[str, "Codec"] = {}
+
+
+class Codec(abc.ABC):
+    """A reversible byte-stream compressor.
+
+    Implementations must guarantee ``decompress(compress(x)) == x`` for all
+    byte strings and raise :class:`repro.errors.CompressionError` when asked
+    to decompress corrupt input.
+    """
+
+    #: registry key, e.g. ``"lz4"``
+    name: str = ""
+
+    @abc.abstractmethod
+    def compress(self, data: bytes) -> bytes:
+        """Compress ``data`` and return the encoded payload."""
+
+    @abc.abstractmethod
+    def decompress(self, data: bytes) -> bytes:
+        """Invert :meth:`compress`."""
+
+    def ratio(self, data: bytes) -> float:
+        """Compressed/uncompressed size ratio for ``data`` (lower is better)."""
+        if not data:
+            return 1.0
+        return len(self.compress(data)) / len(data)
+
+
+def register_codec(codec: Codec) -> Codec:
+    """Register ``codec`` under ``codec.name`` (replacing any previous one)."""
+    if not codec.name:
+        raise ValueError("codec has no name")
+    _REGISTRY[codec.name] = codec
+    return codec
+
+
+def get_codec(name: str) -> Codec:
+    """Look up a registered codec by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownCodecError(
+            f"unknown codec {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_codecs() -> list[str]:
+    """Names of all registered codecs, sorted."""
+    return sorted(_REGISTRY)

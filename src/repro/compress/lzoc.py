@@ -1,0 +1,139 @@
+"""LZO1X-style codec.
+
+LZO's claim to fame is decompression speed from a very simple byte code; the
+exact LZO1X bit layout is baroque, so this codec keeps LZO's *operational*
+shape (greedy LZ77, 3-byte minimum match, 48 KiB window, byte-oriented ops)
+with a cleaner repro-specific wire format:
+
+* ``0x00 <varint len> <bytes>`` — literal run
+* ``0x01 <varint len-3> <varint distance>`` — match
+
+Varints are LEB128.  The format is self-terminating by input exhaustion.
+This is a *substitution* (DESIGN.md §2): Figure 3 needs an LZO data point
+whose ratio sits between LZ4 and gzip and whose decode speed is
+LZ4-adjacent, which this provides; it is not wire-compatible with liblzo2.
+"""
+
+from __future__ import annotations
+
+from repro.compress.base import Codec, register_codec
+from repro.errors import CompressionError
+
+_OP_LITERAL = 0x00
+_OP_MATCH = 0x01
+_MIN_MATCH = 3
+_MAX_DISTANCE = 48 * 1024
+_HASH_MULT = 2654435761
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def _read_varint(data: bytes, pos: int) -> tuple[int, int]:
+    value = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise CompressionError("lzo varint truncated")
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+        if shift > 35:
+            raise CompressionError("lzo varint too long")
+
+
+class LzoCodec(Codec):
+    """LZO1X-style codec (CONFIG_KERNEL_LZO equivalent)."""
+
+    name = "lzo"
+
+    def compress(self, data: bytes) -> bytes:
+        n = len(data)
+        out = bytearray()
+        if n < _MIN_MATCH + 1:
+            self._emit_literals(out, data, 0, n)
+            return bytes(out)
+        table: dict[int, int] = {}
+        anchor = 0
+        pos = 0
+        limit = n - _MIN_MATCH
+        while pos <= limit:
+            key = data[pos] | (data[pos + 1] << 8) | (data[pos + 2] << 16)
+            h = ((key * _HASH_MULT) & 0xFFFFFFFF) >> 17
+            candidate = table.get(h)
+            table[h] = pos
+            if (
+                candidate is None
+                or pos - candidate > _MAX_DISTANCE
+                or data[candidate : candidate + _MIN_MATCH]
+                != data[pos : pos + _MIN_MATCH]
+            ):
+                pos += 1
+                continue
+            match_len = _MIN_MATCH
+            max_len = n - pos
+            while (
+                match_len < max_len
+                and data[candidate + match_len] == data[pos + match_len]
+            ):
+                match_len += 1
+            if anchor < pos:
+                self._emit_literals(out, data, anchor, pos)
+            out.append(_OP_MATCH)
+            _write_varint(out, match_len - _MIN_MATCH)
+            _write_varint(out, pos - candidate)
+            pos += match_len
+            anchor = pos
+        if anchor < n:
+            self._emit_literals(out, data, anchor, n)
+        return bytes(out)
+
+    @staticmethod
+    def _emit_literals(out: bytearray, data: bytes, start: int, end: int) -> None:
+        if end <= start:
+            return
+        out.append(_OP_LITERAL)
+        _write_varint(out, end - start)
+        out += data[start:end]
+
+    def decompress(self, data: bytes) -> bytes:
+        out = bytearray()
+        pos = 0
+        n = len(data)
+        while pos < n:
+            op = data[pos]
+            pos += 1
+            if op == _OP_LITERAL:
+                length, pos = _read_varint(data, pos)
+                if pos + length > n:
+                    raise CompressionError("lzo literal run exceeds input")
+                out += data[pos : pos + length]
+                pos += length
+            elif op == _OP_MATCH:
+                extra, pos = _read_varint(data, pos)
+                distance, pos = _read_varint(data, pos)
+                length = extra + _MIN_MATCH
+                if distance == 0 or distance > len(out):
+                    raise CompressionError(
+                        f"lzo match distance {distance} invalid at output "
+                        f"size {len(out)}"
+                    )
+                start = len(out) - distance
+                if distance >= length:
+                    out += out[start : start + length]
+                else:
+                    for i in range(length):
+                        out.append(out[start + i])
+            else:
+                raise CompressionError(f"lzo bad opcode {op:#x} at {pos - 1}")
+        return bytes(out)
+
+
+register_codec(LzoCodec())

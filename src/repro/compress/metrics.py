@@ -1,0 +1,44 @@
+"""Compression measurement helpers used by Table 1 and Figure 3."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compress.base import get_codec
+
+
+@dataclass(frozen=True)
+class CompressionStats:
+    """Sizes and ratio for one payload/codec pair."""
+
+    codec: str
+    uncompressed_bytes: int
+    compressed_bytes: int
+
+    @property
+    def ratio(self) -> float:
+        if self.uncompressed_bytes == 0:
+            return 1.0
+        return self.compressed_bytes / self.uncompressed_bytes
+
+    @property
+    def savings_pct(self) -> float:
+        return 100.0 * (1.0 - self.ratio)
+
+
+def measure(codec_name: str, payload: bytes) -> CompressionStats:
+    """Compress ``payload`` with ``codec_name`` and report sizes.
+
+    Round-trips the payload as a self-check: a codec that cannot restore
+    its input must never be silently used for a kernel image.
+    """
+    codec = get_codec(codec_name)
+    compressed = codec.compress(payload)
+    restored = codec.decompress(compressed)
+    if restored != payload:
+        raise AssertionError(f"codec {codec_name!r} failed round-trip")
+    return CompressionStats(
+        codec=codec_name,
+        uncompressed_bytes=len(payload),
+        compressed_bytes=len(compressed),
+    )

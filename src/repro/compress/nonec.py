@@ -1,0 +1,25 @@
+"""The ``none`` codec: compression-none from Section 3.3 of the paper.
+
+The kernel is left uncompressed when linked into the bzImage; at "decompress"
+time it is simply copied to where it expects to run.  The passthrough here
+is byte-identical; the *cost* of the copy is charged by the cost model.
+"""
+
+from __future__ import annotations
+
+from repro.compress.base import Codec, register_codec
+
+
+class NoneCodec(Codec):
+    """Identity codec."""
+
+    name = "none"
+
+    def compress(self, data: bytes) -> bytes:
+        return bytes(data)
+
+    def decompress(self, data: bytes) -> bytes:
+        return bytes(data)
+
+
+register_codec(NoneCodec())

@@ -1,0 +1,88 @@
+"""Codecs backed by the Python standard library (gzip/bzip2/lzma/xz).
+
+These match the formats Linux's kbuild offers; the byte work is real, the
+simulated decompression *time* comes from the cost model's calibrated
+throughputs (stdlib C implementations are far faster than the kernel's
+boot-time decompressors, so wall-clock would be meaningless here anyway).
+"""
+
+from __future__ import annotations
+
+import bz2
+import lzma
+import zlib
+
+from repro.compress.base import Codec, register_codec
+from repro.errors import CompressionError
+
+
+class GzipCodec(Codec):
+    """DEFLATE via zlib, the kernel's default (CONFIG_KERNEL_GZIP)."""
+
+    name = "gzip"
+
+    def __init__(self, level: int = 6) -> None:
+        self.level = level
+
+    def compress(self, data: bytes) -> bytes:
+        return zlib.compress(data, self.level)
+
+    def decompress(self, data: bytes) -> bytes:
+        try:
+            return zlib.decompress(data)
+        except zlib.error as exc:
+            raise CompressionError(f"gzip payload corrupt: {exc}") from exc
+
+
+class Bzip2Codec(Codec):
+    """bzip2 (CONFIG_KERNEL_BZIP2)."""
+
+    name = "bzip2"
+
+    def __init__(self, level: int = 9) -> None:
+        self.level = level
+
+    def compress(self, data: bytes) -> bytes:
+        return bz2.compress(data, self.level)
+
+    def decompress(self, data: bytes) -> bytes:
+        try:
+            return bz2.decompress(data)
+        except (OSError, ValueError) as exc:
+            raise CompressionError(f"bzip2 payload corrupt: {exc}") from exc
+
+
+class LzmaCodec(Codec):
+    """Legacy .lzma container (CONFIG_KERNEL_LZMA)."""
+
+    name = "lzma"
+
+    def compress(self, data: bytes) -> bytes:
+        return lzma.compress(data, format=lzma.FORMAT_ALONE, preset=6)
+
+    def decompress(self, data: bytes) -> bytes:
+        try:
+            return lzma.decompress(data, format=lzma.FORMAT_ALONE)
+        except lzma.LZMAError as exc:
+            raise CompressionError(f"lzma payload corrupt: {exc}") from exc
+
+
+class XzCodec(Codec):
+    """xz container (CONFIG_KERNEL_XZ)."""
+
+    name = "xz"
+
+    def compress(self, data: bytes) -> bytes:
+        return lzma.compress(data, format=lzma.FORMAT_XZ, preset=6)
+
+    def decompress(self, data: bytes) -> bytes:
+        try:
+            return lzma.decompress(data, format=lzma.FORMAT_XZ)
+        except lzma.LZMAError as exc:
+            raise CompressionError(f"xz payload corrupt: {exc}") from exc
+
+
+register_codec(GzipCodec())
+register_codec(Bzip2Codec())
+register_codec(LzmaCodec())
+register_codec(XzCodec())

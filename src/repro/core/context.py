@@ -1,0 +1,92 @@
+"""Execution context: *who* is randomizing, and how it is accounted.
+
+The paper's core observation is that the work of (FG)KASLR is identical
+whether the bootstrap loader or the monitor performs it — what changes is
+the principal, and with it the cost structure (host entropy pool vs
+in-guest rdrand, amortized loading vs redundant copies) and where the time
+is attributed in the boot breakdown.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.simtime.clock import SimClock
+from repro.simtime.costs import CostModel
+from repro.simtime.trace import BootCategory, BootStep
+
+
+@dataclass(frozen=True)
+class RandoSteps:
+    """Trace steps used for each phase of randomization."""
+
+    parse: BootStep
+    rng: BootStep
+    shuffle: BootStep
+    segment_load: BootStep
+    relocate: BootStep
+    table_fixup: BootStep
+
+
+MONITOR_STEPS = RandoSteps(
+    parse=BootStep.MONITOR_ELF_PARSE,
+    rng=BootStep.MONITOR_RNG,
+    shuffle=BootStep.MONITOR_SHUFFLE,
+    segment_load=BootStep.MONITOR_SEGMENT_LOAD,
+    relocate=BootStep.MONITOR_RELOCATE,
+    table_fixup=BootStep.MONITOR_TABLE_FIXUP,
+)
+
+LOADER_STEPS = RandoSteps(
+    parse=BootStep.LOADER_ELF_PARSE,
+    rng=BootStep.LOADER_RNG,
+    shuffle=BootStep.LOADER_SHUFFLE,
+    segment_load=BootStep.LOADER_SEGMENT_LOAD,
+    relocate=BootStep.LOADER_RELOCATE,
+    table_fixup=BootStep.LOADER_TABLE_FIXUP,
+)
+
+
+@dataclass
+class RandoContext:
+    """Clock/cost accounting plus the executing principal's parameters."""
+
+    clock: SimClock
+    costs: CostModel
+    category: BootCategory
+    steps: RandoSteps
+    #: True when entropy comes from in-guest rdrand/rdtsc (bootstrap path),
+    #: False when it comes from the host pool (in-monitor path).
+    in_guest: bool
+    #: the randomness source for offset and shuffle decisions
+    rng: random.Random
+
+    @classmethod
+    def monitor(
+        cls, clock: SimClock, costs: CostModel, rng: random.Random
+    ) -> "RandoContext":
+        return cls(
+            clock=clock,
+            costs=costs,
+            category=BootCategory.IN_MONITOR,
+            steps=MONITOR_STEPS,
+            in_guest=False,
+            rng=rng,
+        )
+
+    @classmethod
+    def loader(
+        cls, clock: SimClock, costs: CostModel, rng: random.Random
+    ) -> "RandoContext":
+        return cls(
+            clock=clock,
+            costs=costs,
+            category=BootCategory.BOOTSTRAP_SETUP,
+            steps=LOADER_STEPS,
+            in_guest=True,
+            rng=rng,
+        )
+
+    def charge(self, duration_ns: float, step: BootStep, label: str = "") -> None:
+        self.clock.charge(duration_ns, category=self.category, step=step, label=label)

@@ -1,0 +1,95 @@
+"""The outcome of randomization: where everything ended up.
+
+Produced by whichever principal randomized the kernel; consumed by the
+monitor (to program page tables and the entry point), by the post-boot
+verifier (to recompute expected relocation values), and by the security
+analyses (to measure entropy and leak value).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro.kernel import layout as kl
+
+
+@dataclass
+class LayoutResult:
+    """Final address-space layout of one booted kernel."""
+
+    #: KASLR virtual offset added to every kernel virtual address
+    voffset: int = 0
+    #: physical address the image was loaded at
+    phys_load: int = kl.PHYS_LOAD_ADDR
+    #: link-time virtual base of the image
+    link_vbase: int = kl.LINK_VBASE
+    #: bytes of the loaded file image (excludes .bss)
+    image_bytes: int = 0
+    #: in-memory span including .bss
+    mem_bytes: int = 0
+    #: FGKASLR section moves as (orig_start_vaddr, size, delta),
+    #: sorted by orig_start_vaddr; empty when only base KASLR ran
+    moved: list[tuple[int, int, int]] = field(default_factory=list)
+    #: offset entropy (bits) available to this boot, at paper scale
+    entropy_bits_base: float = 0.0
+    #: added FGKASLR permutation entropy (bits), at paper scale
+    entropy_bits_fg: float = 0.0
+    #: whether kallsyms was eagerly fixed up (False under lazy fixup)
+    kallsyms_fixed: bool = True
+    #: number of relocation entries applied
+    relocs_applied: int = 0
+    _starts: list[int] = field(default_factory=list, repr=False)
+
+    def finalize(self) -> "LayoutResult":
+        """Sort the move map and build the bisect index."""
+        self.moved.sort(key=lambda m: m[0])
+        self._starts = [m[0] for m in self.moved]
+        return self
+
+    @property
+    def randomized(self) -> bool:
+        return self.voffset != 0 or bool(self.moved)
+
+    @property
+    def fine_grained(self) -> bool:
+        return bool(self.moved)
+
+    def displacement_for(self, link_vaddr: int) -> int:
+        """Intra-image displacement of a link-time address (FGKASLR moves)."""
+        if not self.moved:
+            return 0
+        if not self._starts:
+            self.finalize()
+        i = bisect.bisect_right(self._starts, link_vaddr) - 1
+        if i >= 0:
+            start, size, delta = self.moved[i]
+            if start <= link_vaddr < start + size:
+                return delta
+        return 0
+
+    def final_vaddr(self, link_vaddr: int) -> int:
+        """Virtual address after all randomization."""
+        return link_vaddr + self.displacement_for(link_vaddr) + self.voffset
+
+    def final_image_offset(self, link_offset: int) -> int:
+        """Image offset after FGKASLR moves (where the byte physically is)."""
+        return (
+            link_offset
+            + self.displacement_for(self.link_vbase + link_offset)
+        )
+
+    def final_paddr(self, link_vaddr: int) -> int:
+        """Guest physical address after loading and moves."""
+        return (
+            self.final_image_offset(link_vaddr - self.link_vbase) + self.phys_load
+        )
+
+    @property
+    def entry_vaddr(self) -> int:
+        """Final virtual address of ``startup_64`` (start of base .text)."""
+        return self.link_vbase + self.voffset
+
+    @property
+    def total_entropy_bits(self) -> float:
+        return self.entropy_bits_base + self.entropy_bits_fg

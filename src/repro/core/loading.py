@@ -1,0 +1,76 @@
+"""Shared ELF segment loading into guest memory.
+
+Used by the monitor's direct boot path (zero-extra-copy: bytes stream from
+the page cache into guest memory, so only per-segment bookkeeping is
+charged) and by the bootstrap loader (an extra in-guest copy of every
+segment, charged as memcpy — the redundant relocation of the kernel the
+paper eliminates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.context import RandoContext
+from repro.elf.reader import ElfImage
+from repro.errors import BootProtocolError
+from repro.kernel import layout as kl
+from repro.vm.memory import GuestMemory
+
+
+@dataclass(frozen=True)
+class LoadedImage:
+    """Where an ELF landed in guest physical memory."""
+
+    phys_load: int
+    image_bytes: int  # file-backed bytes
+    mem_bytes: int  # including NOBITS (.bss)
+    entry_vaddr: int
+
+
+def load_elf_segments(
+    elf: ElfImage,
+    memory: GuestMemory,
+    ctx: RandoContext,
+    phys_load: int = kl.PHYS_LOAD_ADDR,
+    charge_memcpy: bool = False,
+    skip_text: bool = False,
+) -> LoadedImage:
+    """Copy every PT_LOAD segment to its physical location.
+
+    ``phys_load`` replaces the link-time physical base (segments keep their
+    relative layout).  ``skip_text`` lets the FGKASLR path own the
+    executable segment (it places sections in shuffled order instead).
+    """
+    segments = elf.load_segments()
+    if not segments:
+        raise BootProtocolError("kernel ELF has no PT_LOAD segments")
+    phys_shift = phys_load - kl.PHYS_LOAD_ADDR
+    lo = min(s.p_paddr for s in segments) + phys_shift
+    hi_mem = max(s.p_paddr + s.p_memsz for s in segments) + phys_shift
+    hi_file = max(s.p_paddr + s.p_filesz for s in segments) + phys_shift
+    copied = 0
+    for phdr in segments:
+        executable = bool(phdr.p_flags & 0x1)
+        if skip_text and executable:
+            continue
+        data = elf.segment_bytes(phdr)
+        memory.write(phdr.p_paddr + phys_shift, data)
+        copied += len(data)
+    ctx.charge(
+        len(segments) * ctx.costs.segment_load_overhead_ns,
+        ctx.steps.segment_load,
+        label=f"load {len(segments)} segments",
+    )
+    if charge_memcpy and copied:
+        ctx.charge(
+            ctx.costs.memcpy_ns(copied),
+            ctx.steps.segment_load,
+            label=f"copy {copied} segment bytes",
+        )
+    return LoadedImage(
+        phys_load=lo,
+        image_bytes=hi_file - lo,
+        mem_bytes=hi_mem - lo,
+        entry_vaddr=elf.entry,
+    )

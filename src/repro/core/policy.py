@@ -1,0 +1,80 @@
+"""Offset-selection policy and entropy accounting.
+
+Mirrors Linux's ``choose_random_location``: the virtual offset is an
+appropriately aligned value between the default load address (16 MiB) and
+the maximum the kernel window permits (1 GiB, avoiding the fixmap) —
+Section 4.3.  Virtual and physical randomization are decoupled (Section
+3.2); physical randomization is an optional knob because virtual addresses
+are what code-reuse attacks need.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.context import RandoContext
+from repro.errors import RandomizationError
+from repro.kernel import layout as kl
+
+
+@dataclass(frozen=True)
+class RandomizationPolicy:
+    """Where offsets may land and how they are drawn."""
+
+    #: lower bound of the virtual offset (the default load address)
+    min_offset: int = kl.PHYS_LOAD_ADDR
+    #: exclusive upper bound of the virtual offset window
+    max_offset: int = kl.KERNEL_IMAGE_SIZE
+    #: required offset alignment (CONFIG_PHYSICAL_ALIGN)
+    align: int = kl.KERNEL_ALIGN
+    #: also randomize the physical load address (decoupled; default off)
+    randomize_physical: bool = False
+
+    def slot_count(self, image_mem_bytes: int, paper_scale_bytes: int = 0) -> int:
+        """How many aligned offsets keep the image inside the window.
+
+        ``paper_scale_bytes`` (when nonzero) is used instead of the scaled
+        in-memory size so entropy matches a full-size kernel.
+        """
+        span = paper_scale_bytes or image_mem_bytes
+        usable = self.max_offset - self.min_offset - span
+        if usable < 0:
+            raise RandomizationError(
+                f"kernel of {span} bytes cannot fit in the randomization window"
+            )
+        return usable // self.align + 1
+
+    def entropy_bits(self, image_mem_bytes: int, paper_scale_bytes: int = 0) -> float:
+        return math.log2(self.slot_count(image_mem_bytes, paper_scale_bytes))
+
+    def choose_virtual_offset(self, ctx: RandoContext, image_mem_bytes: int) -> int:
+        """Draw the KASLR virtual offset; charges one entropy draw."""
+        slots = self.slot_count(image_mem_bytes)
+        ctx.charge(
+            ctx.costs.rng_ns(1, in_guest=ctx.in_guest),
+            ctx.steps.rng,
+            label="virtual offset draw",
+        )
+        slot = ctx.rng.randrange(slots)
+        return self.min_offset + slot * self.align
+
+    def choose_physical_offset(
+        self, ctx: RandoContext, image_mem_bytes: int, guest_ram_bytes: int
+    ) -> int:
+        """Physical load address: default fixed, optionally randomized."""
+        if not self.randomize_physical:
+            return kl.PHYS_LOAD_ADDR
+        top = guest_ram_bytes - image_mem_bytes
+        if top <= kl.PHYS_LOAD_ADDR:
+            raise RandomizationError(
+                "guest RAM too small to randomize the physical load address"
+            )
+        slots = (top - kl.PHYS_LOAD_ADDR) // self.align + 1
+        ctx.charge(
+            ctx.costs.rng_ns(1, in_guest=ctx.in_guest),
+            ctx.steps.rng,
+            label="physical offset draw",
+        )
+        slot = ctx.rng.randrange(slots)
+        return kl.PHYS_LOAD_ADDR + slot * self.align

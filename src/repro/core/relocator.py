@@ -1,0 +1,103 @@
+"""Relocation handling — the three fixup classes from Section 3.2.
+
+Adapted (as the paper's prototype was) from the C implementation in the
+Linux bootstrap loader's ``handle_relocations``:
+
+* 64-bit sites get the virtual offset added,
+* 32-bit sites get it added (value is the low 32 bits of a kernel vaddr),
+* inverse 32-bit sites get it subtracted (per-CPU-style negated values).
+
+Under FGKASLR two extra steps occur per entry, both mirrored here: the
+*site itself* may live in a shuffled section (so the fixup location must be
+remapped), and the *stored value* may point into a shuffled section (found
+by binary search over the shuffled-section table, whose cost the model
+charges per entry).
+"""
+
+from __future__ import annotations
+
+from repro.core.context import RandoContext
+from repro.core.layout_result import LayoutResult
+from repro.elf.relocs import RelocationTable, RelocType
+from repro.errors import RandomizationError
+from repro.kernel import layout as kl
+from repro.vm.memory import GuestMemory
+
+#: kernel virtual addresses live in the top 2 GiB
+_KERNEL_WINDOW = 2 * kl.GIB
+_HIGH_BITS = kl.START_KERNEL_MAP & ~0xFFFF_FFFF  # 0xffffffff_00000000
+
+
+def _check_kernel_vaddr(vaddr: int, context: str) -> None:
+    if not kl.START_KERNEL_MAP <= vaddr < kl.START_KERNEL_MAP + _KERNEL_WINDOW:
+        raise RandomizationError(
+            f"{context}: value {vaddr:#x} is not a kernel virtual address"
+        )
+
+
+def _low32_to_vaddr(low32: int) -> int:
+    """Reconstruct a full kernel vaddr from its low 32 bits."""
+    return _HIGH_BITS | low32
+
+
+class Relocator:
+    """Applies a relocation table to a kernel image in guest memory."""
+
+    def __init__(self, memory: GuestMemory, layout: LayoutResult) -> None:
+        self.memory = memory
+        self.layout = layout
+
+    def apply(self, table: RelocationTable, ctx: RandoContext) -> int:
+        """Fix every site; returns the number of entries processed.
+
+        The byte work is real (values in guest memory change); the
+        simulated time is charged in one batch per the cost model, with the
+        FGKASLR binary-search surcharge when sections were shuffled.
+        """
+        layout = self.layout
+        n = table.entry_count
+        if n == 0:
+            return 0
+        for reloc_type, link_offset in table.iter_entries():
+            self._apply_one(reloc_type, link_offset)
+        ctx.charge(
+            ctx.costs.reloc_apply_batch_ns(n, in_guest=ctx.in_guest),
+            ctx.steps.relocate,
+            label=f"apply {n} relocations",
+        )
+        if layout.fine_grained:
+            ctx.charge(
+                ctx.costs.reloc_search_batch_ns(n, len(layout.moved)),
+                ctx.steps.relocate,
+                label=f"binary search over {len(layout.moved)} shuffled sections",
+            )
+        layout.relocs_applied += n
+        return n
+
+    def _apply_one(self, reloc_type: RelocType, link_offset: int) -> None:
+        layout = self.layout
+        # The site itself may have moved with its section (FGKASLR).
+        site_paddr = layout.phys_load + layout.final_image_offset(link_offset)
+        if reloc_type is RelocType.ABS64:
+            value = self.memory.read_u64(site_paddr)
+            _check_kernel_vaddr(value, f"ABS64 site at image+{link_offset:#x}")
+            self.memory.write_u64(site_paddr, layout.final_vaddr(value))
+        elif reloc_type is RelocType.ABS32:
+            low = self.memory.read_u32(site_paddr)
+            vaddr = _low32_to_vaddr(low)
+            _check_kernel_vaddr(vaddr, f"ABS32 site at image+{link_offset:#x}")
+            new = layout.final_vaddr(vaddr)
+            if (new & ~0xFFFF_FFFF) != _HIGH_BITS:
+                raise RandomizationError(
+                    f"ABS32 site at image+{link_offset:#x}: relocated value "
+                    f"{new:#x} no longer fits 32 bits"
+                )
+            self.memory.write_u32(site_paddr, new & 0xFFFF_FFFF)
+        elif reloc_type is RelocType.INV32:
+            stored = self.memory.read_u32(site_paddr)
+            vaddr = _low32_to_vaddr((-stored) & 0xFFFF_FFFF)
+            _check_kernel_vaddr(vaddr, f"INV32 site at image+{link_offset:#x}")
+            new = layout.final_vaddr(vaddr)
+            self.memory.write_u32(site_paddr, (-new) & 0xFFFF_FFFF)
+        else:  # pragma: no cover - exhaustive enum
+            raise RandomizationError(f"unknown relocation type {reloc_type}")

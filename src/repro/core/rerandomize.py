@@ -1,0 +1,80 @@
+"""In-place re-randomization (rebasing) of a running guest.
+
+Section 7 observes that snapshot/zygote platforms either give every clone
+an identical layout (nullifying ASLR) or must maintain pools of diverse
+zygotes (Morula).  In-monitor randomization enables a third option the
+paper's design makes cheap: because the monitor holds the relocation
+table, it can *rebase* a paused guest from its current virtual offset to a
+fresh one by applying the offset delta to every fixup site — no reboot, no
+decompression, no reload.
+
+Rebasing covers base-KASLR layouts.  FGKASLR section shuffles are not
+re-randomized in place (moving code under a paused kernel would break
+saved instruction pointers); callers re-randomize fine-grained layouts by
+restoring a different zygote instead.
+"""
+
+from __future__ import annotations
+
+from repro.core.context import RandoContext
+from repro.core.layout_result import LayoutResult
+from repro.core.policy import RandomizationPolicy
+from repro.core.relocator import _check_kernel_vaddr, _low32_to_vaddr  # shared helpers
+from repro.elf.relocs import RelocationTable, RelocType
+from repro.errors import RandomizationError
+from repro.vm.memory import GuestMemory
+
+
+class Rerandomizer:
+    """Applies a fresh virtual offset to an already-relocated guest."""
+
+    def __init__(self, policy: RandomizationPolicy | None = None) -> None:
+        self.policy = policy or RandomizationPolicy()
+
+    def rebase(
+        self,
+        memory: GuestMemory,
+        layout: LayoutResult,
+        relocs: RelocationTable,
+        ctx: RandoContext,
+    ) -> int:
+        """Move the guest to a new random offset; returns the new offset.
+
+        Every relocation site currently holds ``link + old_offset`` (plus
+        any FGKASLR displacement); adding ``new - old`` to each re-derives
+        a valid layout.  The delta application is the same three-class fix
+        as boot-time relocation and is charged identically.
+        """
+        if layout.fine_grained:
+            raise RandomizationError(
+                "in-place rebase is limited to base-KASLR layouts; "
+                "restore a different zygote to re-randomize FGKASLR guests"
+            )
+        old = layout.voffset
+        new = self.policy.choose_virtual_offset(ctx, layout.mem_bytes)
+        delta = new - old
+        if delta == 0:
+            return new
+        for reloc_type, link_offset in relocs.iter_entries():
+            paddr = layout.phys_load + link_offset
+            if reloc_type is RelocType.ABS64:
+                value = memory.read_u64(paddr)
+                _check_kernel_vaddr(value - old, f"rebase ABS64 at +{link_offset:#x}")
+                memory.write_u64(paddr, value + delta)
+            elif reloc_type is RelocType.ABS32:
+                low = memory.read_u32(paddr)
+                _check_kernel_vaddr(
+                    _low32_to_vaddr(low) - old, f"rebase ABS32 at +{link_offset:#x}"
+                )
+                memory.write_u32(paddr, (low + delta) & 0xFFFFFFFF)
+            else:  # INV32
+                memory.write_u32(
+                    paddr, (memory.read_u32(paddr) - delta) & 0xFFFFFFFF
+                )
+        ctx.charge(
+            ctx.costs.reloc_apply_batch_ns(relocs.entry_count, in_guest=ctx.in_guest),
+            ctx.steps.relocate,
+            label=f"rebase {relocs.entry_count} relocations by {delta:#x}",
+        )
+        layout.voffset = new
+        return new

@@ -1,0 +1,75 @@
+"""From-scratch ELF64 toolchain.
+
+The synthetic kernels, the bzImage linker, the bootstrap loader, and the
+in-monitor randomizer all speak real ELF64: the writer emits byte-exact
+headers/sections/segments/symbols and the reader parses them back.  The
+``vmlinux.relocs`` sidecar format used by in-monitor KASLR (Section 4.2 of
+the paper) lives in :mod:`repro.elf.relocs`.
+"""
+
+from repro.elf.constants import (
+    EM_X86_64,
+    ET_EXEC,
+    PF_R,
+    PF_W,
+    PF_X,
+    PT_LOAD,
+    PT_NOTE,
+    SHF_ALLOC,
+    SHF_EXECINSTR,
+    SHF_WRITE,
+    SHT_NOBITS,
+    SHT_NOTE,
+    SHT_PROGBITS,
+    SHT_STRTAB,
+    SHT_SYMTAB,
+    STB_GLOBAL,
+    STB_LOCAL,
+    STT_FUNC,
+    STT_OBJECT,
+)
+from repro.elf.reader import ElfImage
+from repro.elf.relocs import RelocationTable, RelocType
+from repro.elf.structs import (
+    Elf64Ehdr,
+    Elf64Phdr,
+    Elf64Shdr,
+    Elf64Sym,
+    Section,
+    SegmentSpec,
+    Symbol,
+)
+from repro.elf.writer import ElfWriter
+
+__all__ = [
+    "ElfImage",
+    "ElfWriter",
+    "Elf64Ehdr",
+    "Elf64Phdr",
+    "Elf64Shdr",
+    "Elf64Sym",
+    "RelocationTable",
+    "RelocType",
+    "Section",
+    "SegmentSpec",
+    "Symbol",
+    "EM_X86_64",
+    "ET_EXEC",
+    "PF_R",
+    "PF_W",
+    "PF_X",
+    "PT_LOAD",
+    "PT_NOTE",
+    "SHF_ALLOC",
+    "SHF_EXECINSTR",
+    "SHF_WRITE",
+    "SHT_NOBITS",
+    "SHT_NOTE",
+    "SHT_PROGBITS",
+    "SHT_STRTAB",
+    "SHT_SYMTAB",
+    "STB_GLOBAL",
+    "STB_LOCAL",
+    "STT_FUNC",
+    "STT_OBJECT",
+]

@@ -1,0 +1,68 @@
+"""ELF64 binary-format constants (the subset the toolchain uses)."""
+
+from __future__ import annotations
+
+# e_ident layout
+ELFMAG = b"\x7fELF"
+ELFCLASS64 = 2
+ELFDATA2LSB = 1
+EV_CURRENT = 1
+ELFOSABI_SYSV = 0
+
+# e_type
+ET_NONE = 0
+ET_REL = 1
+ET_EXEC = 2
+ET_DYN = 3
+
+# e_machine
+EM_X86_64 = 62
+
+# Section header types
+SHT_NULL = 0
+SHT_PROGBITS = 1
+SHT_SYMTAB = 2
+SHT_STRTAB = 3
+SHT_RELA = 4
+SHT_NOBITS = 8
+SHT_NOTE = 7
+
+# Section header flags
+SHF_WRITE = 0x1
+SHF_ALLOC = 0x2
+SHF_EXECINSTR = 0x4
+
+# Program header types
+PT_NULL = 0
+PT_LOAD = 1
+PT_NOTE = 4
+
+# Program header flags
+PF_X = 0x1
+PF_W = 0x2
+PF_R = 0x4
+
+# x86-64 relocation types (the subset Linux's relocs tool handles)
+R_X86_64_64 = 1
+R_X86_64_32 = 10
+R_X86_64_32S = 11
+
+# Symbol binding / type
+STB_LOCAL = 0
+STB_GLOBAL = 1
+STT_NOTYPE = 0
+STT_OBJECT = 1
+STT_FUNC = 2
+STT_SECTION = 3
+
+SHN_UNDEF = 0
+SHN_ABS = 0xFFF1
+
+# Struct sizes
+EHDR_SIZE = 64
+PHDR_SIZE = 56
+SHDR_SIZE = 64
+SYM_SIZE = 24
+
+# Xen ELF note type carrying the 32-bit PVH entry point
+XEN_ELFNOTE_PHYS32_ENTRY = 18

@@ -1,0 +1,80 @@
+"""ELF notes, including the Xen PVH entry-point note.
+
+Direct kernel boot has two protocols (Section 2.2): the Linux boot protocol
+(64-bit entry from the ELF header) and Xen PVH, which advertises a 32-bit
+entry point through a ``XEN_ELFNOTE_PHYS32_ENTRY`` note.  The synthetic
+kernels embed a real note section so the monitor's PVH path exercises note
+parsing.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.elf.constants import XEN_ELFNOTE_PHYS32_ENTRY
+from repro.errors import ElfParseError
+
+_NHDR_FMT = "<III"
+_NHDR_SIZE = struct.calcsize(_NHDR_FMT)
+
+
+def _align4(n: int) -> int:
+    return (n + 3) & ~3
+
+
+@dataclass(frozen=True)
+class ElfNote:
+    """One note entry: (name, type, descriptor bytes)."""
+
+    name: str
+    note_type: int
+    desc: bytes
+
+    def pack(self) -> bytes:
+        name_bytes = self.name.encode("ascii") + b"\x00"
+        out = struct.pack(_NHDR_FMT, len(name_bytes), len(self.desc), self.note_type)
+        out += name_bytes + b"\x00" * (_align4(len(name_bytes)) - len(name_bytes))
+        out += self.desc + b"\x00" * (_align4(len(self.desc)) - len(self.desc))
+        return out
+
+
+def pack_notes(notes: list[ElfNote]) -> bytes:
+    return b"".join(note.pack() for note in notes)
+
+
+def parse_notes(data: bytes) -> list[ElfNote]:
+    notes: list[ElfNote] = []
+    pos = 0
+    while pos + _NHDR_SIZE <= len(data):
+        namesz, descsz, note_type = struct.unpack_from(_NHDR_FMT, data, pos)
+        pos += _NHDR_SIZE
+        name_end = pos + namesz
+        desc_start = pos + _align4(namesz)
+        desc_end = desc_start + descsz
+        if desc_end > len(data):
+            raise ElfParseError("note descriptor exceeds section size")
+        name = data[pos : name_end - 1].decode("ascii") if namesz else ""
+        desc = data[desc_start:desc_end]
+        notes.append(ElfNote(name=name, note_type=note_type, desc=desc))
+        pos = desc_start + _align4(descsz)
+    return notes
+
+
+def pvh_entry_note(entry_paddr: int) -> ElfNote:
+    """Build the PVH 32-bit entry note Xen/Firecracker look for."""
+    return ElfNote(
+        name="Xen",
+        note_type=XEN_ELFNOTE_PHYS32_ENTRY,
+        desc=struct.pack("<I", entry_paddr),
+    )
+
+
+def find_pvh_entry(notes: list[ElfNote]) -> int | None:
+    """Extract the PVH entry physical address, or None if absent."""
+    for note in notes:
+        if note.name == "Xen" and note.note_type == XEN_ELFNOTE_PHYS32_ENTRY:
+            if len(note.desc) < 4:
+                raise ElfParseError("PVH entry note descriptor too short")
+            return struct.unpack_from("<I", note.desc, 0)[0]
+    return None

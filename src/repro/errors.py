@@ -1,0 +1,82 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ElfError(ReproError):
+    """Malformed or unsupported ELF content."""
+
+
+class ElfParseError(ElfError):
+    """The byte stream could not be decoded as the expected ELF structure."""
+
+
+class ElfLayoutError(ElfError):
+    """An ELF image could not be laid out (overlapping or unordered parts)."""
+
+
+class RelocsError(ReproError):
+    """Malformed vmlinux.relocs content."""
+
+
+class CompressionError(ReproError):
+    """A codec failed to compress or decompress a payload."""
+
+
+class UnknownCodecError(CompressionError):
+    """The requested compression codec is not registered."""
+
+
+class BzImageError(ReproError):
+    """Malformed bzImage or unsupported boot-protocol field."""
+
+
+class GuestMemoryError(ReproError):
+    """Out-of-range or misaligned guest physical memory access."""
+
+
+class PageTableError(ReproError):
+    """Invalid page-table construction or a failed virtual-address walk."""
+
+
+class TranslationFault(PageTableError):
+    """A virtual address did not resolve through the guest page tables."""
+
+
+class KernelBuildError(ReproError):
+    """The synthetic kernel builder was given an unsatisfiable config."""
+
+
+class RandomizationError(ReproError):
+    """(FG)KASLR could not choose an offset or apply relocations."""
+
+
+class BootProtocolError(ReproError):
+    """The monitor and guest disagreed on the boot protocol contract."""
+
+
+class MonitorError(ReproError):
+    """The virtual machine monitor could not complete an operation."""
+
+
+class GuestPanic(ReproError):
+    """The simulated guest kernel failed its post-boot self-verification.
+
+    This is the moral equivalent of a triple fault or kernel panic during
+    early boot: a relocation was missed, applied twice, or applied with the
+    wrong offset, so some embedded pointer no longer resolves to the symbol
+    recorded in the build manifest.
+    """
+
+
+class BenchmarkError(ReproError):
+    """A benchmark harness was misconfigured."""

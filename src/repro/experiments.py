@@ -1,0 +1,220 @@
+"""Artifact-style experiment runners (Appendix A: E1–E5).
+
+The paper's artifact exposes one shell script per experiment
+(``run_compression_bakeoff.sh``, ``run_cache_effects.sh``, ...).  This
+module is the library equivalent: one function per experiment, returning
+structured rows plus a rendered table, runnable programmatically or via
+``python -m repro experiment <id>``.  The pytest benchmarks in
+``benchmarks/`` remain the asserted versions of the same measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.analysis import render_table, run_boots
+from repro.artifacts import get_bzimage, get_kernel
+from repro.core import RandomizeMode
+from repro.host import HostStorage
+from repro.kernel import AWS, LUPINE, UBUNTU, KernelVariant
+from repro.lebench import run_lebench
+from repro.monitor import BootFormat, Firecracker, VmConfig
+from repro.simtime import BootCategory, CostModel, JitterModel
+
+_KERNELS = [LUPINE, AWS, UBUNTU]
+_VARIANT = {
+    RandomizeMode.NONE: KernelVariant.NOKASLR,
+    RandomizeMode.KASLR: KernelVariant.KASLR,
+    RandomizeMode.FGKASLR: KernelVariant.FGKASLR,
+}
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's output."""
+
+    experiment: str
+    description: str
+    headers: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+
+    def table(self) -> str:
+        return render_table(
+            self.headers, self.rows, title=f"{self.experiment}: {self.description}"
+        )
+
+
+@dataclass
+class _Env:
+    boots: int
+    scale: int
+    vmm: Firecracker
+
+    @classmethod
+    def make(cls, boots: int, scale: int) -> "_Env":
+        costs = CostModel(scale=scale, jitter=JitterModel(sigma=0.02))
+        return cls(boots=boots, scale=scale, vmm=Firecracker(HostStorage(), costs))
+
+    def direct(self, config, mode: RandomizeMode, **kw) -> VmConfig:
+        kernel = get_kernel(config, _VARIANT[mode], scale=self.scale)
+        return VmConfig(kernel=kernel, randomize=mode, **kw)
+
+    def bzimage(self, config, mode, codec, optimized=False, **kw) -> VmConfig:
+        kernel = get_kernel(config, _VARIANT[mode], scale=self.scale)
+        bz = get_bzimage(
+            config, _VARIANT[mode], codec, scale=self.scale, optimized=optimized
+        )
+        return VmConfig(
+            kernel=kernel, boot_format=BootFormat.BZIMAGE, bzimage=bz,
+            randomize=mode, **kw,
+        )
+
+    def measure(self, cfg: VmConfig, warm: bool = True):
+        return run_boots(self.vmm, cfg, n=self.boots, warm=warm)
+
+
+def e1_compression_bakeoff(boots: int = 20, scale: int = 16) -> ExperimentResult:
+    """E1 [Fig 3]: boot time per compression scheme, cached."""
+    env = _Env.make(boots, scale)
+    result = ExperimentResult(
+        "E1", "compression bakeoff (cached boots)",
+        ["kernel", "codec", "boot ms", "min", "max"],
+    )
+    for config in _KERNELS:
+        for codec in ("gzip", "bzip2", "lzma", "xz", "lzo", "lz4"):
+            series = env.measure(env.bzimage(config, RandomizeMode.NONE, codec))
+            stats = series.total
+            result.rows.append(
+                [config.name, codec, stats.mean, stats.min, stats.max]
+            )
+    return result
+
+
+def e2_cache_effects(boots: int = 20, scale: int = 16) -> ExperimentResult:
+    """E2 [Fig 4+5]: bzImage vs direct boot, cold and warm cache."""
+    env = _Env.make(boots, scale)
+    result = ExperimentResult(
+        "E2", "cache effects: lz4 bzImage vs direct vmlinux",
+        ["kernel", "cache", "direct ms", "bzImage ms", "winner"],
+    )
+    for config in _KERNELS:
+        for cached in (False, True):
+            direct = env.measure(env.direct(config, RandomizeMode.NONE), warm=cached)
+            bz = env.measure(
+                env.bzimage(config, RandomizeMode.NONE, "lz4"), warm=cached
+            )
+            result.rows.append(
+                [
+                    config.name,
+                    "warm" if cached else "cold",
+                    direct.total.mean,
+                    bz.total.mean,
+                    "direct" if direct.total.mean < bz.total.mean else "bzImage",
+                ]
+            )
+    return result
+
+
+def e3_bootstrap_comparison(boots: int = 20, scale: int = 16) -> ExperimentResult:
+    """E3 [Fig 6]: none / lz4 / none-optimized / uncompressed."""
+    env = _Env.make(boots, scale)
+    result = ExperimentResult(
+        "E3", "bootstrap method comparison (nokaslr, cached)",
+        ["kernel", "method", "boot ms"],
+    )
+    methods: list[tuple[str, Callable[[object], VmConfig]]] = [
+        ("none", lambda c: env.bzimage(c, RandomizeMode.NONE, "none")),
+        ("lz4", lambda c: env.bzimage(c, RandomizeMode.NONE, "lz4")),
+        ("none-optimized",
+         lambda c: env.bzimage(c, RandomizeMode.NONE, "none", optimized=True)),
+        ("uncompressed", lambda c: env.direct(c, RandomizeMode.NONE)),
+    ]
+    for config in _KERNELS:
+        for name, make in methods:
+            result.rows.append(
+                [config.name, name, env.measure(make(config)).total.mean]
+            )
+    return result
+
+
+def e4_evaluation(boots: int = 20, scale: int = 16) -> ExperimentResult:
+    """E4 [Fig 9]: in-monitor vs self-randomized (FG)KASLR."""
+    env = _Env.make(boots, scale)
+    result = ExperimentResult(
+        "E4", "in-monitor vs self-randomization",
+        ["kernel", "rando", "method", "total ms", "in-monitor ms", "bootstrap ms"],
+    )
+    for config in _KERNELS:
+        for mode in RandomizeMode:
+            combos = [("uncompressed", env.direct(config, mode))]
+            combos.append(
+                ("compression-none",
+                 env.bzimage(config, mode, "none", optimized=True))
+            )
+            combos.append(("lz4", env.bzimage(config, mode, "lz4")))
+            for method, cfg in combos:
+                series = env.measure(cfg)
+                result.rows.append(
+                    [
+                        config.name,
+                        str(mode),
+                        method,
+                        series.total.mean,
+                        series.category(BootCategory.IN_MONITOR).mean,
+                        series.category(BootCategory.BOOTSTRAP_SETUP).mean
+                        + series.category(BootCategory.DECOMPRESSION).mean,
+                    ]
+                )
+    return result
+
+
+def e5_lebench(boots: int = 1, scale: int = 16) -> ExperimentResult:
+    """E5 [Fig 11]: LEBench normalized to aws-nokaslr."""
+    env = _Env.make(max(boots, 1), scale)
+    runs = {}
+    for mode in RandomizeMode:
+        cfg = env.direct(AWS, mode, seed=1)
+        env.vmm.warm_caches(cfg)
+        report = env.vmm.boot(cfg)
+        runs[mode] = run_lebench(cfg.kernel, report.layout)
+    base = runs[RandomizeMode.NONE]
+    result = ExperimentResult(
+        "E5", "LEBench normalized to aws-nokaslr",
+        ["test", "kaslr", "fgkaslr"],
+    )
+    kaslr = runs[RandomizeMode.KASLR].normalized_to(base)
+    fg = runs[RandomizeMode.FGKASLR].normalized_to(base)
+    for name in kaslr:
+        result.rows.append([name, f"{kaslr[name]:.3f}", f"{fg[name]:.3f}"])
+    result.rows.append(
+        [
+            "== mean ==",
+            f"{runs[RandomizeMode.KASLR].mean_normalized(base):.3f}",
+            f"{runs[RandomizeMode.FGKASLR].mean_normalized(base):.3f}",
+        ]
+    )
+    return result
+
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "e1": e1_compression_bakeoff,
+    "e2": e2_cache_effects,
+    "e3": e3_bootstrap_comparison,
+    "e4": e4_evaluation,
+    "e5": e5_lebench,
+}
+
+
+def run_experiment(
+    experiment_id: str, boots: int = 20, scale: int = 16
+) -> ExperimentResult:
+    """Run one artifact experiment by id (``e1`` .. ``e5``)."""
+    try:
+        runner = EXPERIMENTS[experiment_id.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; choose from "
+            f"{sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(boots=boots, scale=scale)

@@ -1,0 +1,6 @@
+"""Host-side substrate: storage with a page cache, and the entropy pool."""
+
+from repro.host.entropy import HostEntropyPool
+from repro.host.storage import HostFile, HostStorage
+
+__all__ = ["HostEntropyPool", "HostFile", "HostStorage"]

@@ -1,0 +1,45 @@
+"""Host entropy pool.
+
+Section 4.3: instead of the bootstrap loader's mix of ``rdrand``/``rdtsc``,
+in-monitor KASLR pulls randomness from the long-running host's entropy pool
+(a Rust ``rand`` crate in the prototype).  Here that pool is a seeded PRNG
+so experiments are reproducible; the *cost* difference between host draws
+and in-guest draws is captured by the cost model.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class HostEntropyPool:
+    """Deterministic stand-in for ``/dev/urandom``."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._rng = random.Random(seed)
+        self.draws = 0
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def reseed(self, seed: int) -> None:
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def draw_u64(self) -> int:
+        self.draws += 1
+        return self._rng.getrandbits(64)
+
+    def randrange(self, n: int) -> int:
+        """Uniform integer in [0, n); counts as one pool draw."""
+        if n <= 0:
+            raise ValueError(f"randrange bound must be positive: {n}")
+        self.draws += 1
+        return self._rng.randrange(n)
+
+    def shuffle_rng(self) -> random.Random:
+        """A child RNG for Fisher-Yates shuffles; counts as one seed draw."""
+        self.draws += 1
+        return random.Random(self._rng.getrandbits(64))

@@ -1,0 +1,41 @@
+"""Synthetic Linux-like guest kernels.
+
+The builder emits genuine ELF64 vmlinux images with the structure that
+matters to (FG)KASLR: a non-randomized base ``.text`` holding the 64-bit
+entry point, per-function ``.text.<name>`` sections (FGKASLR variants), a
+``.rodata`` with function-pointer tables, ``__ex_table``, kallsyms, an
+optional ORC unwind table, a full symbol table, a PVH boot note, and a
+``vmlinux.relocs`` sidecar covering every absolute-address fixup site.
+
+A build also returns a ground-truth :class:`~repro.kernel.manifest.BuildManifest`
+used *only* by the post-boot verification oracle and the test suite — the
+monitor and bootstrap loader never see it.
+"""
+
+from repro.kernel.build import build_kernel
+from repro.kernel.config import (
+    AWS,
+    LUPINE,
+    PRESETS,
+    TINY,
+    UBUNTU,
+    KernelConfig,
+    KernelVariant,
+)
+from repro.kernel.image import KernelImage
+from repro.kernel.manifest import BuildManifest, FunctionInfo, RelocSiteInfo
+
+__all__ = [
+    "AWS",
+    "LUPINE",
+    "PRESETS",
+    "TINY",
+    "UBUNTU",
+    "BuildManifest",
+    "FunctionInfo",
+    "KernelConfig",
+    "KernelImage",
+    "KernelVariant",
+    "RelocSiteInfo",
+    "build_kernel",
+]

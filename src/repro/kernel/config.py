@@ -1,0 +1,170 @@
+"""Kernel configurations and build variants.
+
+The paper evaluates three configurations of Linux 5.11.0-rc3 (Table 1):
+
+* **Lupine** — a small single-purpose (unikernel-like) config,
+* **AWS** — the Firecracker reference microVM config,
+* **Ubuntu** — the Ubuntu 18.04.5 distribution config,
+
+each built in three variants: ``nokaslr`` (not relocatable), ``kaslr``
+(CONFIG_RANDOMIZE_BASE), and ``fgkaslr`` (base + function-granular, built
+with ``-ffunction-sections`` from the FGKASLR patch set — which, per
+Section 5.1, changes the image even when FGKASLR is disabled at boot).
+
+Size/count fields are *paper scale*; the builder divides them by its
+``scale`` argument (DESIGN.md §7).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.errors import KernelBuildError
+
+MIB = 1024 * 1024
+
+
+class KernelVariant(enum.Enum):
+    """Randomization-capability variant of a kernel build."""
+
+    NOKASLR = "nokaslr"
+    KASLR = "kaslr"
+    FGKASLR = "fgkaslr"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def relocatable(self) -> bool:
+        """Whether the build carries relocation information."""
+        return self is not KernelVariant.NOKASLR
+
+    @property
+    def function_sections(self) -> bool:
+        """Whether the build uses ``-ffunction-sections``."""
+        return self is KernelVariant.FGKASLR
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """Paper-scale description of one kernel configuration."""
+
+    name: str
+    description: str
+    text_bytes: int
+    rodata_bytes: int
+    data_bytes: int
+    bss_bytes: int
+    n_functions: int
+    n_relocs_kaslr: int
+    n_relocs_fgkaslr: int
+    n_extable: int
+    has_orc: bool = False
+    #: randomization-independent guest kernel init time (ms, paper scale)
+    linux_boot_base_ms: float = 20.0
+    cmdline: str = "console=ttyS0 reboot=k panic=1 pci=off"
+
+    def validate(self) -> None:
+        if self.n_functions < 4:
+            raise KernelBuildError(f"{self.name}: need at least 4 functions")
+        if self.text_bytes < self.n_functions * 64:
+            raise KernelBuildError(
+                f"{self.name}: text too small for {self.n_functions} functions"
+            )
+        for field_name in ("rodata_bytes", "data_bytes", "bss_bytes"):
+            if getattr(self, field_name) <= 0:
+                raise KernelBuildError(f"{self.name}: {field_name} must be positive")
+
+    def n_relocs(self, variant: KernelVariant) -> int:
+        if variant is KernelVariant.NOKASLR:
+            return 0
+        if variant is KernelVariant.FGKASLR:
+            return self.n_relocs_fgkaslr
+        return self.n_relocs_kaslr
+
+    def scaled(self, scale: int) -> "KernelConfig":
+        """The same config with sizes/counts divided by ``scale``."""
+        if scale < 1:
+            raise KernelBuildError(f"scale must be >= 1, got {scale}")
+        if scale == 1:
+            return self
+        return replace(
+            self,
+            text_bytes=max(self.text_bytes // scale, 64 * 64),
+            rodata_bytes=max(self.rodata_bytes // scale, 4096),
+            data_bytes=max(self.data_bytes // scale, 4096),
+            bss_bytes=max(self.bss_bytes // scale, 4096),
+            n_functions=max(self.n_functions // scale, 16),
+            n_relocs_kaslr=max(self.n_relocs_kaslr // scale, 64),
+            n_relocs_fgkaslr=max(self.n_relocs_fgkaslr // scale, 128),
+            n_extable=max(self.n_extable // scale, 8),
+        )
+
+
+# Presets calibrated so the built artifacts land near Table 1's sizes
+# (vmlinux 20M/39M/45M; relocs 94K/340K/1.1M kaslr, 304K/1.1M/2.3M fgkaslr).
+
+LUPINE = KernelConfig(
+    name="lupine",
+    description="Lupine Linux config: small, single-purpose, unikernel-like",
+    text_bytes=13 * MIB,
+    rodata_bytes=3 * MIB + 512 * 1024,
+    data_bytes=2 * MIB,
+    bss_bytes=2 * MIB,
+    n_functions=12_000,
+    n_relocs_kaslr=24_000,
+    n_relocs_fgkaslr=77_800,
+    n_extable=1_500,
+    linux_boot_base_ms=10.0,
+)
+
+AWS = KernelConfig(
+    name="aws",
+    description="AWS Firecracker reference config: medium general-purpose microVM",
+    text_bytes=26 * MIB,
+    rodata_bytes=7 * MIB,
+    data_bytes=4 * MIB,
+    bss_bytes=4 * MIB,
+    n_functions=24_000,
+    n_relocs_kaslr=87_000,
+    n_relocs_fgkaslr=288_000,
+    n_extable=3_500,
+    linux_boot_base_ms=47.0,
+)
+
+UBUNTU = KernelConfig(
+    name="ubuntu",
+    description="Ubuntu 18.04.5 distribution config: large general-purpose kernel",
+    text_bytes=30 * MIB,
+    rodata_bytes=8 * MIB,
+    data_bytes=4 * MIB + 512 * 1024,
+    bss_bytes=6 * MIB,
+    n_functions=30_000,
+    n_relocs_kaslr=288_000,
+    n_relocs_fgkaslr=602_000,
+    n_extable=4_500,
+    linux_boot_base_ms=158.0,
+)
+
+#: a deliberately small config for unit tests (already "scaled")
+TINY = KernelConfig(
+    name="tiny",
+    description="Minimal config for unit tests",
+    text_bytes=96 * 1024,
+    rodata_bytes=16 * 1024,
+    data_bytes=16 * 1024,
+    bss_bytes=32 * 1024,
+    n_functions=48,
+    n_relocs_kaslr=400,
+    n_relocs_fgkaslr=900,
+    n_extable=24,
+    linux_boot_base_ms=5.0,
+)
+
+PRESETS: dict[str, KernelConfig] = {
+    "lupine": LUPINE,
+    "aws": AWS,
+    "ubuntu": UBUNTU,
+    "tiny": TINY,
+}

@@ -1,0 +1,75 @@
+"""Kernel-constants ELF note.
+
+Section 4.3: several values the randomizer needs are baked into the kernel
+(``CONFIG_PHYSICAL_START``, ``CONFIG_PHYSICAL_ALIGN``,
+``__START_KERNEL_map``, ``KERNEL_IMAGE_SIZE``); the prototype hardcodes
+them and the paper suggests "these values could be prepended to the kernel
+binary as an ELF note, making them easy to retrieve".  This module
+implements that future-work note: the builder emits it, and the in-monitor
+randomizer uses it to *check its contract* against the kernel it was handed
+instead of trusting hardcoded values blindly.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.elf.notes import ElfNote
+from repro.errors import BootProtocolError
+from repro.kernel import layout as kl
+
+#: note owner/type for the kernel-constants descriptor
+CONSTANTS_NOTE_NAME = "repro"
+CONSTANTS_NOTE_TYPE = 0x4B43  # "KC"
+
+_DESC_FMT = "<QQQQ"
+
+
+@dataclass(frozen=True)
+class KernelConstants:
+    """The four layout constants Section 4.3 says the monitor must know."""
+
+    phys_start: int = kl.PHYS_LOAD_ADDR
+    phys_align: int = kl.KERNEL_ALIGN
+    start_kernel_map: int = kl.START_KERNEL_MAP
+    kernel_image_size: int = kl.KERNEL_IMAGE_SIZE
+
+    def pack_note(self) -> ElfNote:
+        return ElfNote(
+            name=CONSTANTS_NOTE_NAME,
+            note_type=CONSTANTS_NOTE_TYPE,
+            desc=struct.pack(
+                _DESC_FMT,
+                self.phys_start,
+                self.phys_align,
+                self.start_kernel_map,
+                self.kernel_image_size,
+            ),
+        )
+
+    @classmethod
+    def from_notes(cls, notes: list[ElfNote]) -> "KernelConstants | None":
+        """Extract the constants note, or None when the kernel lacks one."""
+        for note in notes:
+            if (
+                note.name == CONSTANTS_NOTE_NAME
+                and note.note_type == CONSTANTS_NOTE_TYPE
+            ):
+                if len(note.desc) < struct.calcsize(_DESC_FMT):
+                    raise BootProtocolError("kernel-constants note truncated")
+                return cls(*struct.unpack_from(_DESC_FMT, note.desc, 0))
+        return None
+
+    def check_monitor_contract(self) -> None:
+        """Fail loudly if this kernel disagrees with the monitor's layout.
+
+        The paper's prototype would silently corrupt such a guest; with the
+        note present the monitor can refuse instead.
+        """
+        expected = KernelConstants()
+        if self != expected:
+            raise BootProtocolError(
+                "kernel layout constants disagree with the monitor: "
+                f"kernel={self}, monitor={expected}"
+            )

@@ -1,0 +1,57 @@
+"""The build artifact bundle: vmlinux + relocs sidecar + ground truth."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.elf.reader import ElfImage
+from repro.elf.relocs import RelocationTable
+from repro.kernel.config import KernelConfig, KernelVariant
+from repro.kernel.manifest import BuildManifest
+
+
+@dataclass
+class KernelImage:
+    """One built kernel: the files a monitor consumes plus the oracle data.
+
+    ``vmlinux`` and ``relocs`` are the bytes that would sit on the host
+    filesystem (Figure 8: the monitor takes the kernel ELF and, for
+    in-monitor KASLR, the relocation entries as an extra argument).
+    ``manifest`` is ground truth for verification only.
+    """
+
+    vmlinux: bytes
+    relocs: bytes | None
+    manifest: BuildManifest
+    config: KernelConfig
+    paper_config: KernelConfig
+    variant: KernelVariant
+    scale: int
+
+    @property
+    def name(self) -> str:
+        return f"{self.paper_config.name}-{self.variant.value}"
+
+    @property
+    def vmlinux_size(self) -> int:
+        return len(self.vmlinux)
+
+    @property
+    def relocs_size(self) -> int:
+        return len(self.relocs) if self.relocs is not None else 0
+
+    @cached_property
+    def elf(self) -> ElfImage:
+        """Parsed view of the vmlinux (cached; the bytes are immutable)."""
+        return ElfImage(self.vmlinux)
+
+    @cached_property
+    def reloc_table(self) -> RelocationTable | None:
+        if self.relocs is None:
+            return None
+        return RelocationTable.decode(self.relocs)
+
+    def paper_scale_bytes(self, actual: int) -> int:
+        """Project an actual artifact size back to paper scale."""
+        return actual * self.scale

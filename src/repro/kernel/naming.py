@@ -1,0 +1,52 @@
+"""Deterministic kernel-flavoured symbol names.
+
+FGKASLR randomizes ``.text.<function>`` sections, kallsyms carries names,
+and the attack simulator reasons about which functions an attacker can
+locate — so the synthetic kernels need a large pool of unique,
+realistic-looking function names, generated deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+_SUBSYSTEMS = [
+    "vfs", "ext4", "tcp", "udp", "ip", "net", "sched", "mm", "kmem",
+    "page", "irq", "softirq", "timer", "hrtimer", "rcu", "futex", "pipe",
+    "epoll", "signal", "proc", "sysfs", "blk", "bio", "virtio", "kvm",
+    "pci", "acpi", "tty", "serial", "random", "crypto", "audit", "bpf",
+    "cgroup", "ns", "uts", "sock", "skb", "neigh", "route", "xfrm",
+    "slab", "vmalloc", "swap", "shmem", "dentry", "inode", "file", "mount",
+]
+
+_VERBS = [
+    "init", "exit", "alloc", "free", "get", "put", "read", "write",
+    "open", "close", "lookup", "insert", "remove", "update", "flush",
+    "sync", "lock", "unlock", "wait", "wake", "send", "recv", "parse",
+    "validate", "setup", "teardown", "register", "unregister", "attach",
+    "detach", "enable", "disable", "start", "stop", "resize", "map",
+    "unmap", "copy", "clone", "merge", "split", "scan", "commit", "abort",
+]
+
+_OBJECTS = [
+    "entry", "table", "queue", "list", "tree", "node", "cache", "pool",
+    "buffer", "ring", "slot", "page", "frame", "segment", "region",
+    "context", "state", "group", "set", "bucket", "chain", "window",
+    "handle", "desc", "info", "ops", "work", "event", "request", "batch",
+]
+
+
+def generate_names(count: int, seed: int) -> list[str]:
+    """``count`` unique function names, deterministic in ``seed``."""
+    rng = random.Random(seed)
+    names: list[str] = []
+    seen: set[str] = set()
+    while len(names) < count:
+        name = (
+            f"{rng.choice(_SUBSYSTEMS)}_{rng.choice(_VERBS)}_{rng.choice(_OBJECTS)}"
+        )
+        if name in seen:
+            name = f"{name}_{len(names)}"
+        seen.add(name)
+        names.append(name)
+    return names

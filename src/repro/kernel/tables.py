@@ -1,0 +1,134 @@
+"""Kernel metadata tables: kallsyms, the exception table, and ORC.
+
+Section 3.2: after FGKASLR shuffles function sections, the addresses in
+``/proc/kallsyms``, the exception table, and the ORC stack-unwinder table
+must be updated (and the tables re-sorted) to reflect new locations.
+
+Encodings here mirror the relocation behaviour of the real structures:
+
+* **kallsyms** stores *offsets relative to ``_text``* (Linux's
+  ``CONFIG_KALLSYMS_BASE_RELATIVE``), so plain base KASLR never needs to
+  touch it — only FGKASLR perturbs per-function offsets.
+* **__ex_table** stores absolute virtual addresses in this model, so its
+  fields are also registered as relocation sites (base KASLR fixes them via
+  relocs; FGKASLR additionally remaps moved targets and re-sorts).
+* **ORC** stores ``_text``-relative instruction offsets like kallsyms.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import KernelBuildError
+
+_KALLSYMS_HEADER = "<I"
+_KALLSYMS_ENTRY = "<II"
+EXTABLE_ENTRY_SIZE = 16  # u64 insn vaddr + u64 fixup vaddr
+ORC_IP_ENTRY_SIZE = 4
+ORC_DATA_ENTRY_SIZE = 2
+
+
+@dataclass(frozen=True)
+class KallsymsEntry:
+    """One symbol: offset from ``_text`` plus its name."""
+
+    text_offset: int
+    name: str
+
+
+def encode_kallsyms(entries: list[KallsymsEntry]) -> bytes:
+    """Pack kallsyms sorted by text offset (the kernel binary-searches it)."""
+    ordered = sorted(entries, key=lambda e: e.text_offset)
+    names = bytearray()
+    packed = bytearray(struct.pack(_KALLSYMS_HEADER, len(ordered)))
+    name_offsets: list[int] = []
+    for entry in ordered:
+        name_offsets.append(len(names))
+        names += entry.name.encode("ascii") + b"\x00"
+    for entry, name_off in zip(ordered, name_offsets):
+        packed += struct.pack(_KALLSYMS_ENTRY, entry.text_offset, name_off)
+    return bytes(packed) + bytes(names)
+
+
+def decode_kallsyms(data: bytes) -> list[KallsymsEntry]:
+    if len(data) < 4:
+        raise KernelBuildError("kallsyms blob truncated")
+    (count,) = struct.unpack_from(_KALLSYMS_HEADER, data, 0)
+    entry_size = struct.calcsize(_KALLSYMS_ENTRY)
+    names_start = 4 + count * entry_size
+    if names_start > len(data):
+        raise KernelBuildError("kallsyms entry table exceeds blob")
+    entries = []
+    for i in range(count):
+        offset, name_off = struct.unpack_from(_KALLSYMS_ENTRY, data, 4 + i * entry_size)
+        end = data.index(b"\x00", names_start + name_off)
+        name = data[names_start + name_off : end].decode("ascii")
+        entries.append(KallsymsEntry(text_offset=offset, name=name))
+    return entries
+
+
+def kallsyms_is_sorted(entries: list[KallsymsEntry]) -> bool:
+    return all(
+        entries[i].text_offset <= entries[i + 1].text_offset
+        for i in range(len(entries) - 1)
+    )
+
+
+# -- exception table -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExtableEntry:
+    """A faulting-instruction address and its fixup handler address."""
+
+    insn_vaddr: int
+    fixup_vaddr: int
+
+
+def encode_extable(entries: list[ExtableEntry]) -> bytes:
+    ordered = sorted(entries, key=lambda e: e.insn_vaddr)
+    return b"".join(
+        struct.pack("<QQ", e.insn_vaddr, e.fixup_vaddr) for e in ordered
+    )
+
+
+def decode_extable(data: bytes) -> list[ExtableEntry]:
+    if len(data) % EXTABLE_ENTRY_SIZE:
+        raise KernelBuildError(
+            f"extable size {len(data)} not a multiple of {EXTABLE_ENTRY_SIZE}"
+        )
+    return [
+        ExtableEntry(*struct.unpack_from("<QQ", data, i))
+        for i in range(0, len(data), EXTABLE_ENTRY_SIZE)
+    ]
+
+
+def extable_is_sorted(entries: list[ExtableEntry]) -> bool:
+    return all(
+        entries[i].insn_vaddr <= entries[i + 1].insn_vaddr
+        for i in range(len(entries) - 1)
+    )
+
+
+# -- ORC unwind tables ------------------------------------------------------------
+
+
+def encode_orc_ip(offsets: list[int]) -> bytes:
+    return struct.pack(f"<{len(offsets)}I", *sorted(offsets))
+
+
+def decode_orc_ip(data: bytes) -> list[int]:
+    if len(data) % ORC_IP_ENTRY_SIZE:
+        raise KernelBuildError("orc_unwind_ip size not a multiple of 4")
+    return list(struct.unpack(f"<{len(data) // 4}I", data))
+
+
+def encode_orc_data(n_entries: int, seed: int = 0) -> bytes:
+    """Opaque per-entry unwind data (contents never interpreted)."""
+    out = bytearray()
+    value = seed & 0xFFFF
+    for _ in range(n_entries):
+        value = (value * 31 + 7) & 0xFFFF
+        out += struct.pack("<H", value)
+    return bytes(out)

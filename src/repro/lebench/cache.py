@@ -1,0 +1,80 @@
+"""Set-associative L1 instruction cache and large-page ITLB models."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ICache:
+    """An LRU set-associative instruction cache (i7-4790 L1i by default)."""
+
+    size_bytes: int = 32 * 1024
+    line_bytes: int = 64
+    ways: int = 8
+    _sets: list[OrderedDict[int, None]] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.line_bytes * self.ways):
+            raise ValueError("cache geometry does not divide evenly")
+        self.n_sets = self.size_bytes // (self.line_bytes * self.ways)
+        self.reset()
+
+    def reset(self) -> None:
+        self._sets = [OrderedDict() for _ in range(self.n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access_line(self, line_addr: int) -> bool:
+        """Touch one line address; returns True on hit."""
+        index = line_addr % self.n_sets
+        ways = self._sets[index]
+        if line_addr in ways:
+            ways.move_to_end(line_addr)
+            self.hits += 1
+            return True
+        self.misses += 1
+        ways[line_addr] = None
+        if len(ways) > self.ways:
+            ways.popitem(last=False)
+        return False
+
+    def access_range(self, vaddr: int, nbytes: int) -> int:
+        """Fetch a byte range; returns the number of line misses."""
+        before = self.misses
+        first = vaddr // self.line_bytes
+        last = (vaddr + max(nbytes, 1) - 1) // self.line_bytes
+        for line in range(first, last + 1):
+            self.access_line(line)
+        return self.misses - before
+
+
+@dataclass
+class Itlb:
+    """A small fully-associative LRU TLB for 2 MiB instruction pages."""
+
+    entries: int = 8
+    page_bytes: int = 2 * 1024 * 1024
+    _slots: OrderedDict[int, None] = field(default_factory=OrderedDict, repr=False)
+
+    def __post_init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self._slots = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, vaddr: int) -> bool:
+        """Touch the page containing ``vaddr``; returns True on hit."""
+        page = vaddr // self.page_bytes
+        if page in self._slots:
+            self._slots.move_to_end(page)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._slots[page] = None
+        if len(self._slots) > self.entries:
+            self._slots.popitem(last=False)
+        return False

@@ -1,0 +1,57 @@
+"""LEBench workload definitions.
+
+The test list follows the LEBench suite the paper runs (performance-
+critical system calls).  Each test is modelled as a hot path through a
+*contiguous run* of kernel functions — contiguous at link time because
+kernels co-locate related code (subsystem files, hot/cold splitting), which
+is exactly the locality FGKASLR destroys.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LeBenchTest:
+    """One microbenchmark: a syscall path over a hot function set."""
+
+    name: str
+    #: pure-execution time per iteration, excluding i-side stalls (ns)
+    base_ns: float
+    #: how many consecutive link-time functions the hot path spans
+    hot_functions: int
+    #: hot bytes executed per function visit
+    bytes_per_function: int = 320
+
+    def hot_set_start(self, n_functions: int) -> int:
+        """Deterministic first-function index for this test's hot run."""
+        span = max(1, n_functions - self.hot_functions)
+        return zlib.crc32(self.name.encode("ascii")) % span
+
+
+#: the Figure 11 test list (LEBench's performance-critical kernel paths)
+LEBENCH_TESTS: list[LeBenchTest] = [
+    LeBenchTest("ref", 55.0, 2),
+    LeBenchTest("getpid", 65.0, 3),
+    LeBenchTest("context switch", 1450.0, 24),
+    LeBenchTest("send", 1900.0, 28),
+    LeBenchTest("recv", 2000.0, 30),
+    LeBenchTest("fork", 24000.0, 64),
+    LeBenchTest("big fork", 52000.0, 80),
+    LeBenchTest("thread create", 15000.0, 48),
+    LeBenchTest("small read", 900.0, 14),
+    LeBenchTest("big read", 7800.0, 18),
+    LeBenchTest("small write", 950.0, 14),
+    LeBenchTest("big write", 8200.0, 18),
+    LeBenchTest("small mmap", 2600.0, 22),
+    LeBenchTest("big mmap", 11000.0, 26),
+    LeBenchTest("small munmap", 1700.0, 18),
+    LeBenchTest("big munmap", 6900.0, 20),
+    LeBenchTest("small page fault", 1400.0, 16),
+    LeBenchTest("big page fault", 9200.0, 20),
+    LeBenchTest("select", 1200.0, 16),
+    LeBenchTest("poll", 1300.0, 16),
+    LeBenchTest("epoll", 1350.0, 18),
+]

@@ -1,0 +1,36 @@
+"""Guest address-space bring-up for direct kernel boot.
+
+Direct boot skips the guest's real-mode/protected-mode ladder, so the
+controlling principal must leave behind everything ``startup_64`` expects:
+identity-mapped low memory plus the kernel's (randomized) high mapping.
+"""
+
+from __future__ import annotations
+
+from repro.core.layout_result import LayoutResult
+from repro.kernel import layout as kl
+from repro.vm.memory import GuestMemory
+from repro.vm.pagetable import PAGE_1G, PageTableBuilder
+
+
+def build_kernel_address_space(
+    memory: GuestMemory,
+    layout: LayoutResult,
+    kernel_mem_bytes: int,
+) -> PageTableBuilder:
+    """Build the early page tables; returns the builder (CR3 = ``.pml4``).
+
+    Maps the first GiBs of guest RAM identity (1 GiB pages) and the kernel
+    window ``LINK_VBASE + voffset -> phys_load`` with 2 MiB pages — the
+    same structure Firecracker's ``arch::x86_64`` setup and the bootstrap
+    loader both build.
+    """
+    builder = PageTableBuilder(memory, kl.PAGE_TABLE_BASE)
+    identity_gigs = max(1, -(-memory.size // PAGE_1G))
+    builder.map_identity_1g(identity_gigs)
+    builder.map_2m(
+        kl.LINK_VBASE + layout.voffset,
+        layout.phys_load,
+        kernel_mem_bytes,
+    )
+    return builder

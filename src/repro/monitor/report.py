@@ -1,0 +1,86 @@
+"""Boot outcome: timing breakdown + layout + verification."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.inmonitor import RandomizeMode
+from repro.core.layout_result import LayoutResult
+from repro.kernel.verify import VerificationReport
+from repro.simtime.trace import BootCategory, BootStep, Timeline
+from repro.vm.portio import PortWrite
+
+
+@dataclass
+class BootReport:
+    """Everything one simulated boot produced.
+
+    Times are simulated milliseconds at paper scale (the cost model already
+    projected scaled byte counts back to full-size kernels).
+    """
+
+    vmm_name: str
+    kernel_name: str
+    boot_format: str
+    mode: RandomizeMode
+    codec: str | None
+    total_ms: float
+    timeline: Timeline
+    layout: LayoutResult
+    verification: VerificationReport
+    milestones: list[PortWrite]
+    mem_mib: int
+    cached: bool
+    scale: int
+
+    # -- breakdowns -------------------------------------------------------------
+
+    def category_ms(self, category: BootCategory) -> float:
+        return self.timeline.category_ns(category) / 1e6
+
+    def breakdown_ms(self) -> dict[str, float]:
+        return {
+            category.value: ns / 1e6
+            for category, ns in self.timeline.category_totals_ns().items()
+        }
+
+    def step_ms(self, step: BootStep) -> float:
+        return self.timeline.step_ns(step) / 1e6
+
+    def steps_ms(self) -> dict[str, float]:
+        return {
+            step.value: ns / 1e6 for step, ns in self.timeline.step_totals_ns().items()
+        }
+
+    @property
+    def in_monitor_ms(self) -> float:
+        return self.category_ms(BootCategory.IN_MONITOR)
+
+    @property
+    def bootstrap_setup_ms(self) -> float:
+        return self.category_ms(BootCategory.BOOTSTRAP_SETUP)
+
+    @property
+    def decompression_ms(self) -> float:
+        return self.category_ms(BootCategory.DECOMPRESSION)
+
+    @property
+    def linux_boot_ms(self) -> float:
+        return self.category_ms(BootCategory.LINUX_BOOT)
+
+    @property
+    def bootstrap_loader_ms(self) -> float:
+        """All time in the bootstrap loader (setup + decompression)."""
+        return self.bootstrap_setup_ms + self.decompression_ms
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.kernel_name} via {self.vmm_name} ({self.boot_format}, "
+            f"{self.mode})",
+            f"total {self.total_ms:.2f} ms",
+            f"in-monitor {self.in_monitor_ms:.2f}",
+            f"bootstrap {self.bootstrap_setup_ms:.2f}",
+            f"decompress {self.decompression_ms:.2f}",
+            f"linux {self.linux_boot_ms:.2f}",
+        ]
+        return " | ".join(parts)

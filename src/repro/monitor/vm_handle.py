@@ -1,0 +1,207 @@
+"""A live handle on a booted microVM.
+
+``Firecracker.boot_vm`` returns one of these alongside the
+:class:`~repro.monitor.report.BootReport` so callers can keep interacting
+with the guest after init: read guest memory through the page tables,
+consult ``/proc/kallsyms`` (triggering the paper's *deferred* kallsyms
+fixup on first read — Section 4.3), or hash pages for density analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.layout_result import LayoutResult
+from repro.errors import GuestMemoryError, GuestPanic
+from repro.kernel import layout as kl
+from repro.kernel import tables
+from repro.kernel.image import KernelImage
+from repro.simtime.clock import SimClock
+from repro.simtime.costs import CostModel
+from repro.simtime.trace import BootCategory, BootStep
+from repro.vm.memory import GuestMemory
+from repro.vm.pagetable import PageTableWalker
+from repro.vm.portio import PortIoBus
+
+
+@dataclass
+class MicroVm:
+    """Post-boot guest state plus the operations the guest exposes."""
+
+    kernel: KernelImage
+    memory: GuestMemory
+    walker: PageTableWalker
+    layout: LayoutResult
+    clock: SimClock
+    costs: CostModel
+    bus: PortIoBus
+    #: bytes of early page tables built at boot (lets module loading resume
+    #: the table set to map the module region)
+    pt_tables_bytes: int = 0
+    #: randomized module-region base (chosen on first module load)
+    _module_base: int | None = None
+    _module_cursor: int = 0
+    _module_phys: int = 0
+    #: module-base randomization entropy in bits (0 until first load)
+    module_entropy_bits: float = 0.0
+    loaded_modules: list = None  # populated lazily
+
+    # -- module loading ------------------------------------------------------
+
+    def load_module(self, module, seed: int = 0):
+        """insmod: link a :class:`~repro.kernel.modules.ModuleImage` in.
+
+        The first load randomizes the module-region base (modules get their
+        own offset, independent of the kernel's — leaking a module pointer
+        must not reveal the kernel base).  Imports resolve through the
+        guest's kallsyms, which triggers the deferred FGKASLR fixup if the
+        table is still stale.
+        """
+        import random as _random
+
+        from repro.kernel import modules as km
+        from repro.vm.pagetable import PageTableBuilder
+
+        if self.loaded_modules is None:
+            self.loaded_modules = []
+        if self._module_base is None:
+            slots = km.MODULE_REGION_SIZE // km.MODULE_ALIGN
+            rng = _random.Random(seed)
+            self._module_base = km.MODULE_VADDR_BASE + rng.randrange(slots // 2) * (
+                km.MODULE_ALIGN
+            )
+            self._module_cursor = self._module_base
+            self._module_phys = kl.align_up(
+                self.layout.phys_load + self.layout.mem_bytes, km.MODULE_ALIGN
+            )
+            import math
+
+            self.module_entropy_bits = math.log2(slots // 2)
+            self.clock.charge(
+                self.costs.rng_ns(1, in_guest=True),
+                category=BootCategory.LINUX_BOOT,
+                step=BootStep.KERNEL_MODULE_LOAD,
+                label="module-region base draw",
+            )
+
+        elf = module.elf
+        image_size = module.image_size
+        load_vaddr = self._module_cursor
+        load_paddr = self._module_phys
+        span = kl.align_up(image_size, km.MODULE_ALIGN)
+        if load_paddr + span > self.memory.size:
+            raise GuestMemoryError(
+                f"module {module.name}: no guest memory left at {load_paddr:#x}"
+            )
+        self._module_cursor += span
+        self._module_phys += span
+
+        copied = 0
+        for phdr in elf.load_segments():
+            data = elf.segment_bytes(phdr)
+            self.memory.write(load_paddr + phdr.p_vaddr, data)
+            copied += len(data)
+
+        # Resolve imports once through kallsyms (pays the deferred fixup).
+        resolved: dict[str, int] = {}
+        entries = {e.name: e for e in self.read_kallsyms()}
+        kernel_base = kl.LINK_VBASE + self.layout.voffset
+        for reloc in module.relocs:
+            symbol = reloc.symbol
+            if symbol in module.functions:
+                target = load_vaddr + module.functions[symbol][0]
+            else:
+                try:
+                    target = kernel_base + entries[symbol].text_offset
+                except KeyError:
+                    raise GuestPanic(
+                        f"module {module.name}: unresolved import {symbol!r}"
+                    ) from None
+                resolved[symbol] = target
+            self.memory.write_u64(
+                load_paddr + reloc.image_offset, target + reloc.addend
+            )
+
+        builder = PageTableBuilder.resume(
+            self.memory, kl.PAGE_TABLE_BASE, self.pt_tables_bytes or 0x1000
+        )
+        builder.map_2m(load_vaddr, load_paddr, image_size)
+        self.pt_tables_bytes = builder._next_free - kl.PAGE_TABLE_BASE
+
+        self.clock.charge(
+            self.costs.elf_parse_ns(len(elf.sections))
+            + self.costs.reloc_apply_batch_ns(len(module.relocs), in_guest=True)
+            + self.costs.memcpy_ns(copied),
+            category=BootCategory.LINUX_BOOT,
+            step=BootStep.KERNEL_MODULE_LOAD,
+            label=f"insmod {module.name}",
+        )
+        loaded = km.LoadedModule(
+            name=module.name,
+            load_vaddr=load_vaddr,
+            load_paddr=load_paddr,
+            image_size=image_size,
+            resolved_imports=resolved,
+        )
+        self.loaded_modules.append(loaded)
+        return loaded
+
+    # -- guest-visible reads ------------------------------------------------
+
+    def read_virt(self, vaddr: int, length: int) -> bytes:
+        """Read guest-virtual memory through the live page tables."""
+        return self.walker.read_virt(vaddr, length)
+
+    def read_cmdline(self) -> str:
+        raw = self.memory.read(kl.CMDLINE_ADDR, 4096)
+        return raw.split(b"\x00", 1)[0].decode("ascii")
+
+    @property
+    def kallsyms_stale(self) -> bool:
+        return not self.layout.kallsyms_fixed
+
+    def read_kallsyms(self) -> list[tables.KallsymsEntry]:
+        """Model reading ``/proc/kallsyms``.
+
+        Under the paper's lazy-fixup optimization the table is left stale
+        at boot; the *first* read performs the deferred rewrite+re-sort and
+        pays its cost at guest runtime — "delayed until /proc/kallsyms is
+        first examined" (Section 4.3).  Subsequent reads are cheap.
+        """
+        if not self.layout.kallsyms_fixed:
+            section = self.kernel.elf.section(".kallsyms")
+            paddr = self.layout.phys_load + (section.vaddr - kl.LINK_VBASE)
+            raw = self.memory.read(paddr, section.size)
+            entries = tables.decode_kallsyms(raw)
+            fixed = [
+                tables.KallsymsEntry(
+                    text_offset=e.text_offset
+                    + self.layout.displacement_for(kl.LINK_VBASE + e.text_offset),
+                    name=e.name,
+                )
+                for e in entries
+            ]
+            self.memory.write(paddr, tables.encode_kallsyms(fixed))
+            self.clock.charge(
+                self.costs.kallsyms_fixup_ns(len(entries)),
+                category=BootCategory.LINUX_BOOT,
+                step=BootStep.KERNEL_KALLSYMS_FIXUP,
+                label=f"deferred kallsyms fixup ({len(entries)} symbols)",
+            )
+            self.layout.kallsyms_fixed = True
+        section = self.kernel.elf.section(".kallsyms")
+        paddr = self.layout.phys_load + (section.vaddr - kl.LINK_VBASE)
+        return tables.decode_kallsyms(self.memory.read(paddr, section.size))
+
+    def kallsyms_lookup(self, name: str) -> int:
+        """Resolve a symbol to its *runtime* virtual address via kallsyms."""
+        for entry in self.read_kallsyms():
+            if entry.name == name:
+                return kl.LINK_VBASE + self.layout.voffset + entry.text_offset
+        raise KeyError(f"symbol {name!r} not in kallsyms")
+
+    # -- host-side introspection ------------------------------------------------
+
+    @property
+    def resident_mib(self) -> float:
+        return self.memory.resident_bytes / (1024 * 1024)

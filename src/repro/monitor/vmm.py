@@ -1,0 +1,365 @@
+"""The microVM monitors: Firecracker (and a QEMU profile).
+
+``Firecracker.boot`` runs one complete simulated boot:
+
+* monitor startup (process + KVM init),
+* kernel file read through the host page-cache model,
+* direct boot — with optional in-monitor (FG)KASLR — or bzImage boot via
+  the in-guest bootstrap loader,
+* boot_params/cmdline/page-table/vCPU setup per the chosen boot protocol,
+* guest entry, then the guest's own boot (memory init + subsystem init),
+* the post-boot verification oracle (a failed relocation here is the
+  simulation's kernel panic).
+
+Every step charges a deterministic simulated clock; the returned
+:class:`~repro.monitor.report.BootReport` carries the same four-way time
+breakdown the paper's figures use.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+
+from repro.bootstrap.loader import BootstrapLoader
+from repro.core.context import RandoContext
+from repro.core.inmonitor import InMonitorRandomizer, RandomizeMode
+from repro.elf.notes import find_pvh_entry, parse_notes
+from repro.errors import MonitorError
+from repro.host.entropy import HostEntropyPool
+from repro.host.storage import HostStorage
+from repro.kernel import layout as kl
+from repro.kernel.manifest import FUNCTION_PROLOGUE
+from repro.kernel.verify import verify_guest_kernel
+from repro.monitor.addrspace import build_kernel_address_space
+from repro.monitor.config import BootFormat, BootProtocol, VmConfig
+from repro.monitor.report import BootReport
+from repro.monitor.vm_handle import MicroVm
+from repro.simtime.clock import SimClock
+from repro.simtime.costs import CostModel
+from repro.simtime.trace import BootCategory, BootStep
+from repro.vm.bootparams import BP_FLAG_IN_MONITOR_KASLR, BootParams
+from repro.vm.cpu import VcpuState
+from repro.vm.memory import GuestMemory
+from repro.vm.pagetable import PageTableWalker
+from repro.vm.portio import (
+    MILESTONE_INIT_RUN,
+    MILESTONE_KERNEL_ENTRY,
+    TRACE_PORT,
+    PortIoBus,
+)
+
+
+@dataclass(frozen=True)
+class MonitorProfile:
+    """Monitor-implementation constants (Section 2.2: these vary by VMM)."""
+
+    name: str
+    #: overrides CostModel.vmm_startup_ns when set
+    startup_ns: float | None = None
+    #: overrides CostModel.vmm_guest_entry_ns when set
+    guest_entry_ns: float | None = None
+
+
+FIRECRACKER_PROFILE = MonitorProfile(name="firecracker")
+#: QEMU brings up a much larger device model before the guest runs
+QEMU_PROFILE = MonitorProfile(
+    name="qemu", startup_ns=80_000_000.0, guest_entry_ns=250_000.0
+)
+
+
+class Firecracker:
+    """A Firecracker-like microVM monitor over the simulated substrate."""
+
+    profile: MonitorProfile = FIRECRACKER_PROFILE
+
+    def __init__(
+        self,
+        storage: HostStorage,
+        costs: CostModel | None = None,
+        entropy: HostEntropyPool | None = None,
+    ) -> None:
+        self.storage = storage
+        self.costs = costs if costs is not None else CostModel()
+        self.entropy = entropy if entropy is not None else HostEntropyPool()
+        self._last_pt_bytes = 0
+
+    # -- public API ------------------------------------------------------------
+
+    def register_kernel(self, cfg: VmConfig) -> None:
+        """Place the config's kernel files on host storage (uncached)."""
+        name = cfg.kernel_file_name()
+        if not self.storage.exists(name):
+            if cfg.boot_format is BootFormat.BZIMAGE:
+                assert cfg.bzimage is not None  # validated by caller
+                self.storage.put(name, cfg.bzimage.data)
+            else:
+                self.storage.put(name, cfg.kernel.vmlinux)
+        relocs_needed = (
+            cfg.boot_format is BootFormat.VMLINUX
+            and cfg.randomize is not RandomizeMode.NONE
+        )
+        if relocs_needed and not self.storage.exists(cfg.relocs_file_name()):
+            if cfg.kernel.relocs is None:
+                raise MonitorError(
+                    f"{cfg.kernel.name} has no relocation info to register"
+                )
+            self.storage.put(cfg.relocs_file_name(), cfg.kernel.relocs)
+
+    def warm_caches(self, cfg: VmConfig) -> None:
+        """Model the 5 warm-up boots the paper runs before measuring."""
+        self.register_kernel(cfg)
+        self.storage.warm(cfg.kernel_file_name())
+        if (
+            cfg.boot_format is BootFormat.VMLINUX
+            and cfg.randomize is not RandomizeMode.NONE
+        ):
+            self.storage.warm(cfg.relocs_file_name())
+
+    def boot(self, cfg: VmConfig) -> BootReport:
+        """Run one boot start-to-init; raises on any contract violation."""
+        report, _vm = self.boot_vm(cfg)
+        return report
+
+    def boot_vm(self, cfg: VmConfig) -> tuple[BootReport, "MicroVm"]:
+        """Like :meth:`boot`, but also returns a live guest handle."""
+        cfg.validate()
+        self.register_kernel(cfg)
+        if cfg.drop_caches:
+            self.storage.drop_caches()
+        cached = self.storage.is_cached(cfg.kernel_file_name())
+
+        seed = cfg.seed if cfg.seed is not None else self.entropy.draw_u64()
+        rng = random.Random(seed)
+        # Distinct per-boot measurement noise, deterministic in the seed.
+        self.costs.jitter.reseed(
+            zlib.crc32(f"{self.profile.name}:{cfg.kernel.name}:{seed}".encode())
+        )
+
+        clock = SimClock()
+        bus = PortIoBus(clock)
+        clock.charge(
+            self._startup_ns(),
+            category=BootCategory.IN_MONITOR,
+            step=BootStep.MONITOR_STARTUP,
+            label=f"{self.profile.name} startup",
+        )
+        memory = GuestMemory(cfg.mem_bytes)
+
+        if cfg.boot_format is BootFormat.VMLINUX:
+            layout, loaded = self._direct_boot(cfg, memory, clock, rng)
+        else:
+            layout, loaded = self._bzimage_boot(cfg, memory, clock, rng, bus)
+
+        walker = self._finish_setup(cfg, memory, clock, layout, loaded.mem_bytes)
+        self._enter_guest(cfg, clock, bus, walker, layout)
+        verification = self._run_guest(cfg, memory, clock, bus, walker, layout)
+
+        codec = (
+            cfg.bzimage.header.codec
+            if cfg.boot_format is BootFormat.BZIMAGE and cfg.bzimage
+            else None
+        )
+        report = BootReport(
+            vmm_name=self.profile.name,
+            kernel_name=cfg.kernel.name,
+            boot_format=str(cfg.boot_format),
+            mode=cfg.randomize,
+            codec=codec,
+            total_ms=clock.elapsed_ms(),
+            timeline=clock.timeline,
+            layout=layout,
+            verification=verification,
+            milestones=bus.milestones(),
+            mem_mib=cfg.mem_mib,
+            cached=cached,
+            scale=cfg.kernel.scale,
+        )
+        vm = MicroVm(
+            kernel=cfg.kernel,
+            memory=memory,
+            walker=walker,
+            layout=layout,
+            clock=clock,
+            costs=self.costs,
+            bus=bus,
+            pt_tables_bytes=self._last_pt_bytes,
+        )
+        return report, vm
+
+    # -- boot paths --------------------------------------------------------------
+
+    def _direct_boot(self, cfg, memory, clock, rng):
+        data = self.storage.read(cfg.kernel_file_name(), clock, self.costs)
+        relocs = None
+        if cfg.randomize is not RandomizeMode.NONE:
+            self.storage.read(cfg.relocs_file_name(), clock, self.costs)
+            relocs = cfg.kernel.reloc_table
+        elf = cfg.kernel.elf
+        if data != cfg.kernel.vmlinux:
+            raise MonitorError("host storage returned a different kernel image")
+        randomizer = InMonitorRandomizer(
+            policy=cfg.policy,
+            lazy_kallsyms=cfg.lazy_kallsyms,
+            update_orc=cfg.update_orc,
+        )
+        ctx = RandoContext.monitor(clock, self.costs, rng)
+        return randomizer.run(
+            elf,
+            relocs,
+            memory,
+            ctx,
+            cfg.randomize,
+            guest_ram_bytes=cfg.mem_bytes,
+            scale=cfg.kernel.scale,
+        )
+
+    def _bzimage_boot(self, cfg, memory, clock, rng, bus):
+        assert cfg.bzimage is not None
+        data = self.storage.read(cfg.kernel_file_name(), clock, self.costs)
+        if data != cfg.bzimage.data:
+            raise MonitorError("host storage returned a different bzImage")
+        end = kl.BZIMAGE_LOAD_ADDR + len(data)
+        if end > kl.PHYS_LOAD_ADDR:
+            raise MonitorError(
+                f"bzImage of {len(data)} bytes overlaps the kernel load "
+                f"address; increase the build scale"
+            )
+        memory.write(kl.BZIMAGE_LOAD_ADDR, data)
+        loader = BootstrapLoader(cfg.loader_options)
+        return loader.run(
+            cfg.bzimage,
+            memory,
+            clock,
+            self.costs,
+            rng,
+            cfg.randomize,
+            guest_ram_bytes=cfg.mem_bytes,
+            scale=cfg.kernel.scale,
+            bus=bus,
+        )
+
+    # -- shared tail --------------------------------------------------------------
+
+    def _finish_setup(self, cfg, memory, clock, layout, kernel_mem_bytes):
+        params = BootParams(cmdline_ptr=kl.CMDLINE_ADDR)
+        params.add_e820(0, cfg.mem_bytes)
+        if cfg.initrd:
+            # Linux convention: the initrd sits near the top of low RAM.
+            initrd_addr = (cfg.mem_bytes - len(cfg.initrd)) & ~0xFFF
+            end = layout.phys_load + kernel_mem_bytes
+            if initrd_addr <= end:
+                raise MonitorError(
+                    f"initrd of {len(cfg.initrd)} bytes does not fit above "
+                    f"the kernel in {cfg.mem_mib} MiB of RAM"
+                )
+            memory.write(initrd_addr, cfg.initrd)
+            params.initrd_ptr = initrd_addr
+            params.initrd_size = len(cfg.initrd)
+            clock.charge(
+                self.costs.memcpy_ns(len(cfg.initrd)),
+                category=BootCategory.IN_MONITOR,
+                step=BootStep.MONITOR_IMAGE_READ,
+                label=f"load initrd ({len(cfg.initrd)} bytes)",
+            )
+        if layout.randomized and cfg.boot_format is BootFormat.VMLINUX:
+            params.flags |= BP_FLAG_IN_MONITOR_KASLR
+            params.kaslr_virt_offset = layout.voffset
+        memory.write(kl.CMDLINE_ADDR, cfg.effective_cmdline.encode() + b"\x00")
+        memory.write(kl.BOOT_PARAMS_ADDR, params.pack())
+        clock.charge(
+            self.costs.vmm_boot_params(),
+            category=BootCategory.IN_MONITOR,
+            step=BootStep.MONITOR_BOOT_PARAMS,
+            label="boot_params + cmdline",
+        )
+        builder = build_kernel_address_space(memory, layout, kernel_mem_bytes)
+        clock.charge(
+            self.costs.vmm_pagetable_ns(kernel_mem_bytes),
+            category=BootCategory.IN_MONITOR,
+            step=BootStep.MONITOR_PAGETABLE,
+            label="early page tables",
+        )
+        self._last_pt_bytes = builder.tables_bytes
+        return PageTableWalker(memory, builder.pml4)
+
+    def _enter_guest(self, cfg, clock, bus, walker, layout):
+        vcpu = VcpuState()
+        if cfg.boot_protocol is BootProtocol.PVH:
+            notes = parse_notes(cfg.kernel.elf.section(".notes").data)
+            entry_paddr = find_pvh_entry(notes)
+            if entry_paddr is None:
+                raise MonitorError("PVH boot requested but kernel has no PVH note")
+            vcpu.setup_protected_mode()
+            vcpu.rbx = kl.BOOT_PARAMS_ADDR
+            vcpu.rip = entry_paddr + (layout.phys_load - kl.PHYS_LOAD_ADDR)
+        else:
+            vcpu.setup_long_mode(cr3=walker.cr3)
+            vcpu.rsi = kl.BOOT_PARAMS_ADDR
+            vcpu.rip = layout.entry_vaddr
+            problems = vcpu.validate_linux64_entry()
+            if problems:
+                raise MonitorError(
+                    "64-bit boot protocol contract violated: " + "; ".join(problems)
+                )
+        clock.charge(
+            self._guest_entry_ns(),
+            category=BootCategory.IN_MONITOR,
+            step=BootStep.MONITOR_GUEST_ENTRY,
+            label="KVM_RUN",
+        )
+        # The guest fetches its first instruction: prove the entry mapping.
+        if cfg.boot_protocol is BootProtocol.PVH:
+            first = walker.memory.read(vcpu.rip, len(FUNCTION_PROLOGUE))
+        else:
+            first = walker.read_virt(vcpu.rip, len(FUNCTION_PROLOGUE))
+        if first != FUNCTION_PROLOGUE:
+            raise MonitorError(
+                f"guest entry at {vcpu.rip:#x} does not hold startup code"
+            )
+        bus.write(TRACE_PORT, MILESTONE_KERNEL_ENTRY)
+
+    def _run_guest(self, cfg, memory, clock, bus, walker, layout):
+        mem_ns, base_ns = self.costs.kernel_boot_ns(
+            cfg.kernel.config.linux_boot_base_ms, cfg.mem_mib
+        )
+        clock.charge(
+            mem_ns,
+            category=BootCategory.LINUX_BOOT,
+            step=BootStep.KERNEL_MEM_INIT,
+            label=f"memblock/struct-page init for {cfg.mem_mib} MiB",
+        )
+        clock.charge(
+            base_ns,
+            category=BootCategory.LINUX_BOOT,
+            step=BootStep.KERNEL_INIT,
+            label="kernel subsystem init",
+        )
+        verification = verify_guest_kernel(memory, walker, layout, cfg.kernel.manifest)
+        clock.charge(
+            0,
+            category=BootCategory.LINUX_BOOT,
+            step=BootStep.KERNEL_RUN_INIT,
+            label="exec /sbin/init",
+        )
+        bus.write(TRACE_PORT, MILESTONE_INIT_RUN)
+        return verification
+
+    # -- profile plumbing ------------------------------------------------------------
+
+    def _startup_ns(self) -> float:
+        if self.profile.startup_ns is not None:
+            return self.profile.startup_ns * self.costs.jitter.factor()
+        return self.costs.vmm_startup()
+
+    def _guest_entry_ns(self) -> float:
+        if self.profile.guest_entry_ns is not None:
+            return self.profile.guest_entry_ns * self.costs.jitter.factor()
+        return self.costs.vmm_guest_entry()
+
+
+class Qemu(Firecracker):
+    """The same machinery under QEMU-like monitor constants (Section 2.2)."""
+
+    profile = QEMU_PROFILE

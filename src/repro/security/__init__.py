@@ -1,0 +1,20 @@
+"""Security analyses: entropy, information-leak value, memory density.
+
+Supports the paper's security arguments quantitatively: Section 4.3's
+entropy-equivalence claim, Section 3.1's value-of-a-leak argument for
+FGKASLR, and Section 6's page-merging/memory-density discussion.
+"""
+
+from repro.security.attacks import GadgetCatalog, LeakAttackResult, simulate_leak_attack
+from repro.security.entropy import empirical_entropy_bits, offset_distribution
+from repro.security.pagemerge import PageMergeReport, merge_report
+
+__all__ = [
+    "GadgetCatalog",
+    "LeakAttackResult",
+    "PageMergeReport",
+    "empirical_entropy_bits",
+    "merge_report",
+    "offset_distribution",
+    "simulate_leak_attack",
+]

@@ -1,0 +1,73 @@
+"""Content-based page merging (KSM) across co-resident microVMs.
+
+Section 6: fine-grained randomization nullifies page-sharing benefits
+because per-VM layouts diverge; with in-monitor randomization the *host*
+controls the seed and can pin one randomization per VM group to recover
+density.  :func:`merge_report` measures exactly that: hash every resident
+guest page across a fleet and count how many copies a same-content merge
+would reclaim.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.vm.memory import GuestMemory
+
+PAGE_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class PageMergeReport:
+    """Fleet-wide page dedup outcome."""
+
+    n_vms: int
+    total_pages: int
+    distinct_pages: int
+    zero_pages: int
+
+    @property
+    def reclaimed_pages(self) -> int:
+        """Copies a same-content merge collapses (incl. zero pages)."""
+        return self.total_pages - self.distinct_pages
+
+    @property
+    def reclaimed_fraction(self) -> float:
+        if self.total_pages == 0:
+            return 0.0
+        return self.reclaimed_pages / self.total_pages
+
+    @property
+    def reclaimed_nonzero_fraction(self) -> float:
+        """Reclaim fraction among pages with actual content."""
+        nonzero_total = self.total_pages - self.zero_pages
+        if nonzero_total <= 0:
+            return 0.0
+        distinct_nonzero = self.distinct_pages - (1 if self.zero_pages else 0)
+        return (nonzero_total - distinct_nonzero) / nonzero_total
+
+
+_ZERO_DIGEST = hashlib.blake2b(bytes(PAGE_SIZE), digest_size=16).digest()
+
+
+def merge_report(memories: Iterable[GuestMemory]) -> PageMergeReport:
+    """Hash every resident page of every VM and count mergeable copies."""
+    digests: Counter[bytes] = Counter()
+    n_vms = 0
+    zero_pages = 0
+    for memory in memories:
+        n_vms += 1
+        for _paddr, page in memory.iter_resident_pages(PAGE_SIZE):
+            digest = hashlib.blake2b(page, digest_size=16).digest()
+            digests[digest] += 1
+            if digest == _ZERO_DIGEST:
+                zero_pages += 1
+    return PageMergeReport(
+        n_vms=n_vms,
+        total_pages=sum(digests.values()),
+        distinct_pages=len(digests),
+        zero_pages=zero_pages,
+    )

@@ -1,0 +1,24 @@
+"""Deterministic simulated-time substrate.
+
+The reproduction never measures Python wall-clock time: every operation a
+real monitor/guest would perform (disk reads, decompression, memcpy,
+relocation handling, ELF parsing, ...) charges simulated nanoseconds to a
+:class:`~repro.simtime.clock.SimClock` according to a calibrated
+:class:`~repro.simtime.costs.CostModel`.  This keeps benchmark results
+deterministic, independent of the host machine, and faithful to the paper's
+i7-4790 testbed in *shape*.
+"""
+
+from repro.simtime.clock import SimClock
+from repro.simtime.costs import CostModel, JitterModel
+from repro.simtime.trace import BootCategory, BootStep, Timeline, TraceEvent
+
+__all__ = [
+    "BootCategory",
+    "BootStep",
+    "CostModel",
+    "JitterModel",
+    "SimClock",
+    "Timeline",
+    "TraceEvent",
+]

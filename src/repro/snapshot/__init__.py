@@ -1,0 +1,20 @@
+"""Snapshot / zygote / re-randomization substrate (Section 7).
+
+Zygote-style platforms restore pre-booted VM images to dodge cold-start
+latency, but copy-on-write clones share one memory layout, nullifying
+ASLR.  This package provides the three strategies the paper discusses:
+
+* :class:`~repro.snapshot.checkpoint.SnapshotManager` — capture a booted
+  microVM and restore copy-on-write clones in milliseconds;
+* :class:`~repro.snapshot.zygote.ZygotePool` — a Morula-style pool of
+  zygotes with *diverse* randomizations;
+* in-place **rebase** of restored clones to fresh offsets
+  (:class:`repro.core.rerandomize.Rerandomizer`) — the new option
+  in-monitor randomization enables, because the monitor holds the
+  relocation table.
+"""
+
+from repro.snapshot.checkpoint import Snapshot, SnapshotManager
+from repro.snapshot.zygote import AcquireResult, ZygotePool
+
+__all__ = ["AcquireResult", "Snapshot", "SnapshotManager", "ZygotePool"]

@@ -1,0 +1,98 @@
+"""Zygote pools with three diversity policies.
+
+Section 7's landscape, made executable:
+
+* ``shared``  — one zygote, every clone restored from it: fastest and
+  simplest, but every instance shares one kernel layout (ASLR nullified —
+  the problem the paper points out with zygote platforms);
+* ``pool``    — Morula-style pool of N zygotes booted with distinct
+  randomizations; clones cycle through them (N distinct layouts, N boots
+  of up-front cost and N snapshots of storage);
+* ``rebase``  — one zygote, each clone rebased to a fresh offset at
+  restore time (unbounded layout diversity at near-restore latency; needs
+  the monitor to hold the relocation table, i.e. in-monitor KASLR).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import MonitorError
+from repro.monitor.config import VmConfig
+from repro.monitor.vm_handle import MicroVm
+from repro.monitor.vmm import Firecracker
+from repro.snapshot.checkpoint import Snapshot, SnapshotManager
+
+
+class ZygotePolicy(enum.Enum):
+    SHARED = "shared"
+    POOL = "pool"
+    REBASE = "rebase"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class AcquireResult:
+    """One instance acquisition: the clone plus how it was produced."""
+
+    vm: MicroVm
+    latency_ms: float
+    policy: ZygotePolicy
+    zygote_index: int
+
+
+@dataclass
+class ZygotePool:
+    """Pre-booted zygotes serving instance acquisitions."""
+
+    vmm: Firecracker
+    cfg_factory: Callable[[int], VmConfig]
+    policy: ZygotePolicy = ZygotePolicy.SHARED
+    pool_size: int = 4
+    manager: SnapshotManager = field(init=False)
+    _zygotes: list[Snapshot] = field(default_factory=list)
+    _next: int = 0
+    fill_cost_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.manager = SnapshotManager(self.vmm.costs)
+
+    def fill(self) -> float:
+        """Boot and snapshot the zygotes; returns total up-front cost (ms)."""
+        count = self.pool_size if self.policy is ZygotePolicy.POOL else 1
+        total = 0.0
+        for index in range(count):
+            cfg = self.cfg_factory(index)
+            self.vmm.warm_caches(cfg)
+            _report, vm = self.vmm.boot_vm(cfg)
+            snapshot = self.manager.capture(vm)
+            self._zygotes.append(snapshot)
+            total += vm.clock.elapsed_ms()
+        self.fill_cost_ms = total
+        return total
+
+    @property
+    def zygotes(self) -> list[Snapshot]:
+        return list(self._zygotes)
+
+    def acquire(self, seed: int) -> AcquireResult:
+        """Produce one instance per the pool's diversity policy."""
+        if not self._zygotes:
+            raise MonitorError("zygote pool is empty; call fill() first")
+        if self.policy is ZygotePolicy.POOL:
+            index = self._next % len(self._zygotes)
+            self._next += 1
+        else:
+            index = 0
+        snapshot = self._zygotes[index]
+        if self.policy is ZygotePolicy.REBASE:
+            vm, latency = self.manager.restore_rebased(snapshot, seed=seed)
+        else:
+            vm, latency = self.manager.restore(snapshot)
+        return AcquireResult(
+            vm=vm, latency_ms=latency, policy=self.policy, zygote_index=index
+        )

@@ -1,0 +1,5 @@
+"""Host-side build tools (the counterparts of Linux's scripts/)."""
+
+from repro.tools.relocs import generate_relocs
+
+__all__ = ["generate_relocs"]

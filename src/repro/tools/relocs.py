@@ -1,0 +1,63 @@
+"""The ``relocs`` host tool.
+
+Section 4.3: "the relocs tool in the Linux source tree can take a
+vmlinux.bin as input and generate its respective vmlinux.relocs file.
+With either method, obtaining relocations is straightforward."
+
+This is that other method: given a vmlinux that still carries its
+standard ``.rela`` sections (``build_kernel(..., emit_rela=True)``), walk
+the RELA entries, classify each x86-64 relocation type into the three
+boot-time fixup classes, and emit the sidecar table the monitor consumes.
+"""
+
+from __future__ import annotations
+
+from repro.elf import constants as ec
+from repro.elf.reader import ElfImage
+from repro.elf.relocs import RelocationTable, RelocType
+from repro.elf.structs import RELA_SIZE, Elf64Rela
+from repro.errors import RelocsError
+from repro.kernel import layout as kl
+
+#: how each x86-64 relocation type maps onto the boot-time fixup classes
+_CLASS_FOR_TYPE = {
+    ec.R_X86_64_64: RelocType.ABS64,
+    ec.R_X86_64_32: RelocType.ABS32,
+    # 32S against the per-CPU segment is the inverse class in Linux's tool;
+    # the synthetic kernels emit 32S exclusively for such sites.
+    ec.R_X86_64_32S: RelocType.INV32,
+}
+
+
+def generate_relocs(elf: ElfImage) -> RelocationTable:
+    """Scan every ``.rela*`` section and build the sidecar table."""
+    table = RelocationTable()
+    rela_sections = [
+        s for s in elf.sections if s.sh_type == ec.SHT_RELA and s.size
+    ]
+    if not rela_sections:
+        raise RelocsError(
+            "vmlinux carries no .rela sections; it was built with the "
+            "relocation info already extracted (use the sidecar instead)"
+        )
+    for section in rela_sections:
+        if section.size % RELA_SIZE:
+            raise RelocsError(
+                f"{section.name}: size {section.size} is not a multiple of "
+                f"{RELA_SIZE}"
+            )
+        for pos in range(0, section.size, RELA_SIZE):
+            entry = Elf64Rela.unpack(section.data, pos)
+            try:
+                reloc_class = _CLASS_FOR_TYPE[entry.r_type]
+            except KeyError:
+                raise RelocsError(
+                    f"{section.name}: unhandled relocation type {entry.r_type}"
+                ) from None
+            if entry.r_offset < kl.LINK_VBASE:
+                raise RelocsError(
+                    f"{section.name}: r_offset {entry.r_offset:#x} below the "
+                    "kernel image"
+                )
+            table.add(reloc_class, entry.r_offset - kl.LINK_VBASE)
+    return table.sorted()

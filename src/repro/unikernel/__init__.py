@@ -1,0 +1,25 @@
+"""Unikernel guests and a ukvm-style monitor (Section 6 / Section 7).
+
+Unikernels link the application and the library OS into one address space
+and "typically do not yet employ ASLR"; the paper argues in-monitor
+randomization fits them even better than Linux guests, mirroring how the
+kernel already provides ASLR for userspace processes — and opens the door
+to whole-system ASLR (application *and* libOS functions shuffled
+together).
+
+This package builds unikernel images with the same from-scratch machinery
+as the Linux guests (application functions and libOS functions live in one
+function-section space) and boots them on a stripped, ukvm-like monitor
+profile.
+"""
+
+from repro.unikernel.image import LIBOS_PREFIXES, UNIKERNEL_BASE, build_unikernel
+from repro.unikernel.monitor import UNIKERNEL_PROFILE, UnikernelMonitor
+
+__all__ = [
+    "LIBOS_PREFIXES",
+    "UNIKERNEL_BASE",
+    "UNIKERNEL_PROFILE",
+    "UnikernelMonitor",
+    "build_unikernel",
+]

@@ -1,0 +1,29 @@
+"""Virtual-hardware substrate for the simulated microVM.
+
+Provides what a KVM-based monitor gets from the kernel: guest physical
+memory (sparse, demand-allocated like anonymous ``mmap``), vCPU register
+state, x86-64 4-level page tables (built *in* guest memory and walked in
+software), the Linux ``boot_params`` zero page, and a port-I/O bus used for
+boot-milestone tracepoints exactly like the paper's ``perf``-traced port
+writes (Appendix A).
+"""
+
+from repro.vm.bootparams import BootParams, E820Entry, E820_RAM, E820_RESERVED
+from repro.vm.cpu import CpuMode, VcpuState
+from repro.vm.memory import GuestMemory
+from repro.vm.pagetable import PageTableBuilder, PageTableWalker
+from repro.vm.portio import PortIoBus, PortWrite
+
+__all__ = [
+    "BootParams",
+    "CpuMode",
+    "E820Entry",
+    "E820_RAM",
+    "E820_RESERVED",
+    "GuestMemory",
+    "PageTableBuilder",
+    "PageTableWalker",
+    "PortIoBus",
+    "PortWrite",
+    "VcpuState",
+]

@@ -1,0 +1,119 @@
+"""The Linux ``boot_params`` zero page (the subset direct boot needs).
+
+Both boot protocols convey system information to the nascent kernel through
+an in-memory structure: the Linux boot protocol uses ``struct boot_params``
+("the zero page") pointed to by RSI.  This module packs/unpacks a compact,
+documented subset — command line, initrd, the e820 memory map, and the
+setup-header fields the kernel checks — into one 4 KiB page of guest
+memory.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.errors import BootProtocolError
+
+#: magic the kernel's early code checks in the setup header ("HdrS")
+SETUP_HEADER_MAGIC = 0x53726448
+
+E820_RAM = 1
+E820_RESERVED = 2
+
+_MAX_E820 = 32
+_HEADER_FMT = "<IIQQQQII"  # magic, protocol, cmdline, initrd, initrd_sz, kaslr_va, e820 count, flags
+_E820_FMT = "<QQI"
+_PAGE = 0x1000
+
+BOOT_PROTOCOL_VERSION = 0x020F  # 2.15, current as of Linux 5.11
+
+#: boot_params.flags bit: the loader already applied KASLR in the monitor
+#: (our in-monitor extension; ignored by kernels that do not know it)
+BP_FLAG_IN_MONITOR_KASLR = 1 << 0
+
+
+@dataclass(frozen=True)
+class E820Entry:
+    """One physical memory range advertised to the guest."""
+
+    addr: int
+    size: int
+    entry_type: int = E820_RAM
+
+
+@dataclass
+class BootParams:
+    """The zero-page contents the monitor prepares."""
+
+    cmdline_ptr: int = 0
+    initrd_ptr: int = 0
+    initrd_size: int = 0
+    kaslr_virt_offset: int = 0
+    flags: int = 0
+    e820: list[E820Entry] = field(default_factory=list)
+
+    def add_e820(self, addr: int, size: int, entry_type: int = E820_RAM) -> None:
+        if len(self.e820) >= _MAX_E820:
+            raise BootProtocolError("e820 table full")
+        self.e820.append(E820Entry(addr, size, entry_type))
+
+    def pack(self) -> bytes:
+        header = struct.pack(
+            _HEADER_FMT,
+            SETUP_HEADER_MAGIC,
+            BOOT_PROTOCOL_VERSION,
+            self.cmdline_ptr,
+            self.initrd_ptr,
+            self.initrd_size,
+            self.kaslr_virt_offset,
+            len(self.e820),
+            self.flags,
+        )
+        body = b"".join(
+            struct.pack(_E820_FMT, e.addr, e.size, e.entry_type) for e in self.e820
+        )
+        page = header + body
+        if len(page) > _PAGE:
+            raise BootProtocolError("boot_params exceed one page")
+        return page + b"\x00" * (_PAGE - len(page))
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "BootParams":
+        if len(data) < struct.calcsize(_HEADER_FMT):
+            raise BootProtocolError("boot_params page truncated")
+        (
+            magic,
+            protocol,
+            cmdline_ptr,
+            initrd_ptr,
+            initrd_size,
+            kaslr_va,
+            n_e820,
+            flags,
+        ) = struct.unpack_from(_HEADER_FMT, data, 0)
+        if magic != SETUP_HEADER_MAGIC:
+            raise BootProtocolError(f"bad boot_params magic {magic:#x}")
+        if protocol < 0x020C:
+            raise BootProtocolError(
+                f"boot protocol {protocol:#x} too old for 64-bit direct boot"
+            )
+        if n_e820 > _MAX_E820:
+            raise BootProtocolError(f"e820 count {n_e820} exceeds table size")
+        offset = struct.calcsize(_HEADER_FMT)
+        entries = []
+        for i in range(n_e820):
+            addr, size, etype = struct.unpack_from(_E820_FMT, data, offset)
+            entries.append(E820Entry(addr, size, etype))
+            offset += struct.calcsize(_E820_FMT)
+        return cls(
+            cmdline_ptr=cmdline_ptr,
+            initrd_ptr=initrd_ptr,
+            initrd_size=initrd_size,
+            kaslr_virt_offset=kaslr_va,
+            flags=flags,
+            e820=entries,
+        )
+
+    def total_ram(self) -> int:
+        return sum(e.size for e in self.e820 if e.entry_type == E820_RAM)

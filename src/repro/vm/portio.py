@@ -1,0 +1,65 @@
+"""Port-I/O bus with boot-milestone tracepoints.
+
+The paper's benchmarking places port-I/O writes in the guest and traces
+them with ``perf`` as KVM events (Appendix A, following
+qemu-boot-time).  The simulated guest does the same: milestone writes to
+:data:`TRACE_PORT` are recorded with the simulated timestamp, and the
+benchmark harness reads boot-phase boundaries from this log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.simtime.clock import SimClock
+
+#: the debug port the guest uses for boot-milestone writes
+TRACE_PORT = 0xF4
+
+# Milestone values written to TRACE_PORT (mirrors the artifact's patches).
+MILESTONE_LOADER_ENTRY = 0x01
+MILESTONE_DECOMPRESS_START = 0x02
+MILESTONE_DECOMPRESS_END = 0x03
+MILESTONE_KERNEL_ENTRY = 0x10
+MILESTONE_INIT_RUN = 0x7F
+
+
+@dataclass(frozen=True)
+class PortWrite:
+    """One traced guest port write."""
+
+    timestamp_ns: int
+    port: int
+    value: int
+
+
+class PortIoBus:
+    """Dispatches guest port writes to handlers and records trace writes."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._handlers: dict[int, Callable[[int], None]] = {}
+        self.log: list[PortWrite] = []
+
+    def register(self, port: int, handler: Callable[[int], None]) -> None:
+        if port in self._handlers:
+            raise ValueError(f"port {port:#x} already has a handler")
+        self._handlers[port] = handler
+
+    def write(self, port: int, value: int) -> None:
+        self.log.append(PortWrite(self._clock.now_ns, port, value))
+        handler = self._handlers.get(port)
+        if handler is not None:
+            handler(value)
+
+    def milestones(self) -> list[PortWrite]:
+        """Only the boot-milestone writes on :data:`TRACE_PORT`."""
+        return [w for w in self.log if w.port == TRACE_PORT]
+
+    def milestone_ns(self, value: int) -> int:
+        """Timestamp of the first milestone write with ``value``."""
+        for write in self.log:
+            if write.port == TRACE_PORT and write.value == value:
+                return write.timestamp_ns
+        raise KeyError(f"milestone {value:#x} never written")

@@ -1,0 +1,37 @@
+"""Shared fixtures: tiny kernels, a monitor over fresh host storage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.artifacts import get_kernel
+from repro.host import HostStorage
+from repro.kernel import TINY, KernelVariant
+from repro.monitor import Firecracker
+from repro.simtime import CostModel
+
+
+@pytest.fixture(scope="session")
+def tiny_nokaslr():
+    return get_kernel(TINY, KernelVariant.NOKASLR, scale=1, seed=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_kaslr():
+    return get_kernel(TINY, KernelVariant.KASLR, scale=1, seed=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_fgkaslr():
+    return get_kernel(TINY, KernelVariant.FGKASLR, scale=1, seed=3)
+
+
+@pytest.fixture()
+def storage():
+    return HostStorage()
+
+
+@pytest.fixture()
+def fc(storage):
+    """A Firecracker monitor with deterministic (jitter-free) costs."""
+    return Firecracker(storage, CostModel(scale=1))

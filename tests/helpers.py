@@ -1,0 +1,58 @@
+"""Shared test helpers for randomize-and-verify flows."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import InMonitorRandomizer, RandoContext, RandomizeMode
+from repro.core.policy import RandomizationPolicy
+from repro.kernel import layout as kl
+from repro.monitor.addrspace import build_kernel_address_space
+from repro.simtime import CostModel, SimClock
+from repro.vm import GuestMemory, PageTableWalker
+
+MIB = 1024 * 1024
+
+
+def randomize_into_memory(
+    img,
+    mode: RandomizeMode,
+    seed: int = 7,
+    lazy_kallsyms: bool = True,
+    update_orc: bool = True,
+    policy: RandomizationPolicy | None = None,
+    mem_bytes: int = 256 * MIB,
+    in_place: bool = False,
+):
+    """Run the in-monitor pipeline on a fresh guest; returns all the pieces."""
+    memory = GuestMemory(mem_bytes)
+    clock = SimClock()
+    ctx = RandoContext.monitor(clock, CostModel(scale=img.scale), random.Random(seed))
+    randomizer = InMonitorRandomizer(
+        policy=policy or RandomizationPolicy(),
+        lazy_kallsyms=lazy_kallsyms,
+        update_orc=update_orc,
+    )
+    layout, loaded = randomizer.run(
+        img.elf,
+        img.reloc_table,
+        memory,
+        ctx,
+        mode,
+        guest_ram_bytes=mem_bytes,
+        scale=img.scale,
+        in_place=in_place,
+    )
+    return layout, loaded, memory, clock
+
+
+def walker_for(memory, layout, loaded) -> PageTableWalker:
+    builder = build_kernel_address_space(memory, layout, loaded.mem_bytes)
+    return PageTableWalker(memory, builder.pml4)
+
+
+def final_phys(layout, link_vaddr: int) -> int:
+    return layout.final_paddr(link_vaddr)
+
+
+LINK_VBASE = kl.LINK_VBASE

@@ -1,0 +1,76 @@
+"""Run aggregation and report rendering."""
+
+import pytest
+
+from repro.analysis import BootSeries, Stats, render_bars, render_table, run_boots
+from repro.core import RandomizeMode
+from repro.monitor import VmConfig
+from repro.simtime import BootCategory
+
+
+def test_stats_of():
+    stats = Stats.of([1.0, 2.0, 3.0])
+    assert stats.mean == 2.0
+    assert stats.min == 1.0
+    assert stats.max == 3.0
+    assert stats.n == 3
+
+
+def test_stats_empty_rejected():
+    with pytest.raises(ValueError):
+        Stats.of([])
+
+
+def test_run_boots_protocol(fc, tiny_kaslr):
+    cfg = VmConfig(kernel=tiny_kaslr, randomize=RandomizeMode.KASLR)
+    series = run_boots(fc, cfg, n=5, seed0=100)
+    assert len(series.reports) == 5
+    assert series.total.n == 5
+    # warmed cache: every measured boot was cached
+    assert all(r.cached for r in series.reports)
+    # distinct seeds produce distinct offsets
+    offsets = {r.layout.voffset for r in series.reports}
+    assert len(offsets) > 1
+
+
+def test_run_boots_cold(fc, tiny_nokaslr):
+    cfg = VmConfig(kernel=tiny_nokaslr, randomize=RandomizeMode.NONE)
+    cold = run_boots(fc, cfg, n=3, warm=False)
+    warm = run_boots(fc, cfg, n=3, warm=True)
+    assert cold.total.mean > warm.total.mean
+    assert not any(r.cached for r in cold.reports)
+
+
+def test_series_category_stats(fc, tiny_kaslr):
+    cfg = VmConfig(kernel=tiny_kaslr, randomize=RandomizeMode.KASLR)
+    series = run_boots(fc, cfg, n=3)
+    assert series.category(BootCategory.LINUX_BOOT).mean > 0
+    breakdown = series.breakdown_means()
+    assert set(breakdown) == {c.value for c in BootCategory}
+
+
+def test_render_table_alignment():
+    out = render_table(
+        ["kernel", "ms"], [["lupine", 16.02], ["aws", 131.0]], title="boot"
+    )
+    lines = out.splitlines()
+    assert lines[0] == "boot"
+    assert "kernel" in lines[1]
+    assert "16.02" in out and "131.00" in out
+
+
+def test_render_bars_scaling():
+    out = render_bars([("a", 10.0), ("b", 5.0)], width=20)
+    lines = out.splitlines()
+    assert lines[0].count("#") == 20
+    assert lines[1].count("#") == 10
+
+
+def test_render_bars_empty():
+    assert render_bars([], title="t") == "t"
+
+
+def test_series_label_default(fc, tiny_kaslr):
+    cfg = VmConfig(kernel=tiny_kaslr, randomize=RandomizeMode.KASLR)
+    series = run_boots(fc, cfg, n=1)
+    assert "tiny-kaslr" in series.label

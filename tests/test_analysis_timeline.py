@@ -1,0 +1,70 @@
+"""Timeline rendering and stats extensions."""
+
+import pytest
+
+from repro.analysis import Stats, render_step_ranking, render_timeline
+from repro.core import RandomizeMode
+from repro.monitor import VmConfig
+from repro.simtime import BootCategory, BootStep, SimClock
+from repro.simtime.trace import Timeline
+
+
+def test_render_empty_timeline():
+    assert "empty" in render_timeline(Timeline())
+
+
+def test_render_real_boot(fc, tiny_kaslr):
+    cfg = VmConfig(kernel=tiny_kaslr, randomize=RandomizeMode.KASLR, seed=5)
+    fc.warm_caches(cfg)
+    report = fc.boot(cfg)
+    chart = render_timeline(report.timeline)
+    assert "in_monitor" in chart
+    assert "linux_boot" in chart
+    assert "ms total" in chart
+    # every category row is present even if idle
+    for category in BootCategory:
+        assert category.value in chart
+
+
+def test_render_proportions():
+    clock = SimClock()
+    clock.charge(75, BootCategory.IN_MONITOR, BootStep.MONITOR_STARTUP)
+    clock.charge(25, BootCategory.LINUX_BOOT, BootStep.KERNEL_INIT)
+    chart = render_timeline(clock.timeline, width=40)
+    monitor_row = next(l for l in chart.splitlines() if l.startswith("in_monitor"))
+    linux_row = next(l for l in chart.splitlines() if l.startswith("linux_boot"))
+    assert monitor_row.count("█") > 2 * linux_row.count("█")
+
+
+def test_step_ranking_orders_by_cost():
+    clock = SimClock()
+    clock.charge(10, BootCategory.IN_MONITOR, BootStep.MONITOR_RNG)
+    clock.charge(1000, BootCategory.IN_MONITOR, BootStep.MONITOR_RELOCATE)
+    out = render_step_ranking(clock.timeline)
+    lines = out.splitlines()
+    assert lines[0].startswith("monitor_relocate")
+
+
+def test_step_ranking_empty():
+    assert "no steps" in render_step_ranking(Timeline())
+
+
+def test_stats_std():
+    stats = Stats.of([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+    assert stats.std == pytest.approx(2.0)
+    assert Stats.of([3.0]).std == 0.0
+
+
+def test_stats_speedup():
+    fast = Stats.of([50.0])
+    slow = Stats.of([100.0])
+    assert fast.speedup_over(slow) == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        fast.speedup_over(Stats.of([0.0]))
+
+
+def test_cli_timeline_flag(capsys):
+    from repro.cli import main
+
+    assert main(["boot", "--kernel", "tiny", "--scale", "1", "--timeline"]) == 0
+    assert "boot timeline" in capsys.readouterr().out

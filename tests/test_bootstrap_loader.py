@@ -1,0 +1,141 @@
+"""Bootstrap-loader simulation: steps, costs, self-randomization."""
+
+import random
+
+import pytest
+
+from repro.bootstrap import BootstrapLoader, LoaderOptions
+from repro.bzimage import build_bzimage
+from repro.core import RandomizeMode
+from repro.kernel.verify import verify_guest_kernel
+from repro.simtime import BootCategory, BootStep, CostModel, SimClock
+from repro.vm import GuestMemory, PortIoBus
+from repro.vm.portio import (
+    MILESTONE_DECOMPRESS_END,
+    MILESTONE_DECOMPRESS_START,
+    MILESTONE_LOADER_ENTRY,
+)
+
+from helpers import walker_for
+
+MIB = 1024 * 1024
+
+
+def _run(img, codec, mode, optimized=False, options=None, seed=13):
+    bz = build_bzimage(img, codec, optimized=optimized)
+    memory = GuestMemory(256 * MIB)
+    clock = SimClock()
+    bus = PortIoBus(clock)
+    loader = BootstrapLoader(options)
+    layout, loaded = loader.run(
+        bz, memory, clock, CostModel(scale=img.scale), random.Random(seed),
+        mode, guest_ram_bytes=memory.size, scale=img.scale, bus=bus,
+    )
+    return layout, loaded, memory, clock, bus
+
+
+def test_lz4_boot_self_randomizes_and_verifies(tiny_kaslr):
+    layout, loaded, memory, clock, _ = _run(tiny_kaslr, "lz4", RandomizeMode.KASLR)
+    assert layout.voffset != 0
+    walker = walker_for(memory, layout, loaded)
+    verify_guest_kernel(memory, walker, layout, tiny_kaslr.manifest)
+
+
+def test_fgkaslr_self_randomization_verifies(tiny_fgkaslr):
+    layout, loaded, memory, clock, _ = _run(
+        tiny_fgkaslr, "none", RandomizeMode.FGKASLR, optimized=True
+    )
+    assert layout.fine_grained
+    walker = walker_for(memory, layout, loaded)
+    report = verify_guest_kernel(memory, walker, layout, tiny_fgkaslr.manifest)
+    assert report.kallsyms_stale  # fair-comparison loader skips the fixup
+
+
+def test_stock_loader_fixes_kallsyms(tiny_fgkaslr):
+    options = LoaderOptions(kallsyms_fixup=True)
+    layout, loaded, memory, _, _ = _run(
+        tiny_fgkaslr, "none", RandomizeMode.FGKASLR, optimized=True, options=options
+    )
+    assert layout.kallsyms_fixed
+
+
+def test_decompression_charged_to_its_own_category(tiny_kaslr):
+    _, _, _, clock, _ = _run(tiny_kaslr, "lz4", RandomizeMode.KASLR)
+    totals = clock.timeline.category_totals_ns()
+    assert totals[BootCategory.DECOMPRESSION] > 0
+    assert totals[BootCategory.BOOTSTRAP_SETUP] > 0
+
+
+def test_optimized_skips_copy_and_decompression(tiny_kaslr):
+    _, _, _, clock, _ = _run(tiny_kaslr, "none", RandomizeMode.KASLR, optimized=True)
+    steps = clock.timeline.step_totals_ns()
+    assert BootStep.LOADER_COPY_KERNEL not in steps
+    assert clock.timeline.category_ns(BootCategory.DECOMPRESSION) == 0
+
+
+def test_unoptimized_none_pays_both_copies(tiny_kaslr):
+    _, _, _, plain, _ = _run(tiny_kaslr, "none", RandomizeMode.KASLR)
+    _, _, _, opt, _ = _run(tiny_kaslr, "none", RandomizeMode.KASLR, optimized=True)
+    assert plain.now_ns > opt.now_ns
+    # the unoptimized boot has the copy-aside step
+    assert plain.timeline.step_ns(BootStep.LOADER_COPY_KERNEL) > 0
+
+
+def test_lz4_decompression_dominates_loader_time():
+    """Figure 5: decompression is the bulk of bootstrap-loader time.
+
+    This is a property of paper-size kernels (tens of MiB), so it uses a
+    scaled AWS build rather than the tiny unit-test kernel, whose constant
+    bring-up costs dominate.
+    """
+    from repro.artifacts import get_kernel
+    from repro.kernel import AWS, KernelVariant
+
+    aws = get_kernel(AWS, KernelVariant.NOKASLR, scale=64)
+    _, _, _, clock, _ = _run(aws, "lz4", RandomizeMode.NONE)
+    decompress = clock.timeline.category_ns(BootCategory.DECOMPRESSION)
+    loader_total = decompress + clock.timeline.category_ns(
+        BootCategory.BOOTSTRAP_SETUP
+    )
+    assert decompress / loader_total > 0.5
+
+
+def test_milestones_in_order(tiny_kaslr):
+    _, _, _, _, bus = _run(tiny_kaslr, "lz4", RandomizeMode.KASLR)
+    values = [w.value for w in bus.milestones()]
+    assert values[:3] == [
+        MILESTONE_LOADER_ENTRY,
+        MILESTONE_DECOMPRESS_START,
+        MILESTONE_DECOMPRESS_END,
+    ]
+
+
+def test_fgkaslr_heap_zero_dominates_kaslr_setup(tiny_kaslr, tiny_fgkaslr):
+    _, _, _, ck, _ = _run(tiny_kaslr, "none", RandomizeMode.KASLR, optimized=True)
+    _, _, _, cf, _ = _run(tiny_fgkaslr, "none", RandomizeMode.FGKASLR, optimized=True)
+    assert cf.timeline.step_ns(BootStep.LOADER_HEAP_ZERO) > 5 * ck.timeline.step_ns(
+        BootStep.LOADER_HEAP_ZERO
+    )
+
+
+def test_corrupt_payload_fails_boot(tiny_kaslr):
+    from repro.bzimage.format import BzImage
+    from repro.errors import CompressionError, BzImageError
+
+    bz = build_bzimage(tiny_kaslr, "lz4")
+    data = bytearray(bz.data)
+    data[bz.header.payload_offset + 100] ^= 0xFF
+    corrupted = BzImage.parse(bytes(data))
+    memory = GuestMemory(256 * MIB)
+    with pytest.raises((CompressionError, BzImageError)):
+        BootstrapLoader().run(
+            corrupted, memory, SimClock(), CostModel(scale=1), random.Random(0),
+            RandomizeMode.KASLR, guest_ram_bytes=memory.size,
+        )
+
+
+def test_nokaslr_bzimage_boots_without_randomization(tiny_nokaslr):
+    layout, loaded, memory, _, _ = _run(tiny_nokaslr, "gzip", RandomizeMode.NONE)
+    assert layout.voffset == 0
+    walker = walker_for(memory, layout, loaded)
+    verify_guest_kernel(memory, walker, layout, tiny_nokaslr.manifest)

@@ -1,0 +1,110 @@
+"""bzImage container: header, linking, payload splitting."""
+
+import pytest
+
+from repro.bzimage import BzImage, SetupHeader, build_bzimage
+from repro.bzimage.format import HEADER_SIZE
+from repro.compress import get_codec
+from repro.errors import BzImageError
+from repro.kernel import layout as kl
+
+
+def test_header_roundtrip():
+    header = SetupHeader(
+        codec="lz4", loader_size=1000, payload_offset=1536, payload_size=5000,
+        vmlinux_size=20000, relocs_size=400, kernel_alignment=kl.KERNEL_ALIGN,
+        heap_size=65536,
+    )
+    back = SetupHeader.unpack(header.pack())
+    assert back == header
+
+
+def test_header_bad_magic_and_truncation():
+    with pytest.raises(BzImageError, match="magic"):
+        SetupHeader.unpack(b"XXXX" + bytes(HEADER_SIZE))
+    with pytest.raises(BzImageError, match="truncated"):
+        SetupHeader.unpack(b"Hdr")
+
+
+def test_codec_name_too_long():
+    header = SetupHeader(
+        codec="waytoolongname", loader_size=0, payload_offset=0, payload_size=0,
+        vmlinux_size=0, relocs_size=0, kernel_alignment=0, heap_size=0,
+    )
+    with pytest.raises(BzImageError, match="too long"):
+        header.pack()
+
+
+def test_build_lz4_bzimage_decompresses_back(tiny_kaslr):
+    bz = build_bzimage(tiny_kaslr, "lz4")
+    blob = get_codec("lz4").decompress(bz.payload())
+    vmlinux, relocs = bz.split_decompressed(blob)
+    assert vmlinux == tiny_kaslr.vmlinux
+    assert relocs == tiny_kaslr.relocs
+
+
+def test_build_none_bzimage_payload_is_raw(tiny_kaslr):
+    bz = build_bzimage(tiny_kaslr, "none")
+    assert bz.payload() == tiny_kaslr.vmlinux + tiny_kaslr.relocs
+
+
+def test_nokaslr_bzimage_has_no_relocs(tiny_nokaslr):
+    bz = build_bzimage(tiny_nokaslr, "none")
+    assert bz.header.relocs_size == 0
+    _vmlinux, relocs = bz.split_decompressed(bz.payload())
+    assert relocs is None
+
+
+def test_optimized_requires_none_codec(tiny_kaslr):
+    with pytest.raises(BzImageError, match="uncompressed"):
+        build_bzimage(tiny_kaslr, "lz4", optimized=True)
+
+
+def test_optimized_payload_is_aligned(tiny_kaslr):
+    bz = build_bzimage(tiny_kaslr, "none", optimized=True)
+    align = max(kl.KERNEL_ALIGN // tiny_kaslr.scale, 4096)
+    assert bz.header.payload_offset % align == 0
+    assert bz.header.optimized
+
+
+def test_compressed_smaller_than_none(tiny_kaslr):
+    none_bz = build_bzimage(tiny_kaslr, "none")
+    lz4_bz = build_bzimage(tiny_kaslr, "lz4")
+    xz_bz = build_bzimage(tiny_kaslr, "xz")
+    assert lz4_bz.size < none_bz.size
+    assert xz_bz.size < lz4_bz.size  # xz ratio beats lz4 (Table 1 ordering)
+
+
+def test_fgkaslr_heap_much_larger_than_kaslr(tiny_kaslr, tiny_fgkaslr):
+    """Section 5.2: the FGKASLR boot heap is up to 8x the KASLR one."""
+    kaslr_bz = build_bzimage(tiny_kaslr, "none")
+    fg_bz = build_bzimage(tiny_fgkaslr, "none")
+    # FGKASLR needs a scratch copy of the whole text region
+    assert fg_bz.header.heap_size == tiny_fgkaslr.config.text_bytes
+    assert fg_bz.header.heap_size >= 5 * kaslr_bz.header.heap_size
+
+
+def test_parse_validates_payload_bounds(tiny_kaslr):
+    bz = build_bzimage(tiny_kaslr, "lz4")
+    truncated = bz.data[: bz.header.payload_offset + 10]
+    with pytest.raises(BzImageError, match="exceeds"):
+        BzImage.parse(truncated)
+
+
+def test_parse_roundtrip(tiny_kaslr):
+    bz = build_bzimage(tiny_kaslr, "gzip")
+    again = BzImage.parse(bz.data)
+    assert again.header == bz.header
+    assert again.payload() == bz.payload()
+
+
+def test_split_size_mismatch_rejected(tiny_kaslr):
+    bz = build_bzimage(tiny_kaslr, "none")
+    with pytest.raises(BzImageError, match="promises"):
+        bz.split_decompressed(b"short")
+
+
+def test_loader_stub_deterministic(tiny_kaslr):
+    a = build_bzimage(tiny_kaslr, "none")
+    b = build_bzimage(tiny_kaslr, "none")
+    assert a.data == b.data

@@ -1,0 +1,76 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+SCALE = ["--scale", "64"]
+
+
+def test_boot_default(capsys):
+    assert main(["boot", "--kernel", "tiny", "--scale", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "tiny-kaslr" in out
+    assert "virtual offset" in out
+    assert "verified" in out
+
+
+def test_boot_nokaslr_has_no_offset_line(capsys):
+    assert main(["boot", "--kernel", "tiny", "--mode", "none", "--scale", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "virtual offset" not in out
+
+
+def test_boot_bzimage(capsys):
+    code = main(
+        ["boot", "--kernel", "tiny", "--scale", "1", "--format", "bzimage",
+         "--codec", "lz4"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "loader_decompress" in out
+
+
+def test_boot_series(capsys):
+    assert main(["boot", "--kernel", "tiny", "--scale", "1", "--boots", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "x3 boots" in out
+    assert "total ms" in out
+
+
+def test_boot_cold(capsys):
+    assert main(["boot", "--kernel", "tiny", "--scale", "1", "--cold"]) == 0
+
+
+def test_boot_qemu(capsys):
+    assert main(["boot", "--kernel", "tiny", "--scale", "1", "--qemu"]) == 0
+    assert "qemu" in capsys.readouterr().out
+
+
+def test_boot_pvh(capsys):
+    assert main(
+        ["boot", "--kernel", "tiny", "--scale", "1", "--protocol", "pvh"]
+    ) == 0
+
+
+def test_codecs(capsys):
+    assert main(["codecs", "--kernel", "tiny", "--scale", "1"]) == 0
+    out = capsys.readouterr().out
+    for codec in ("lz4", "gzip", "xz"):
+        assert codec in out
+
+
+def test_entropy(capsys):
+    assert main(["entropy", "--kernel", "tiny", "--scale", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "bits" in out and "gadgets" in out
+
+
+def test_bad_kernel_rejected():
+    with pytest.raises(SystemExit):
+        main(["boot", "--kernel", "nonexistent"])
+
+
+def test_missing_subcommand_rejected():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,73 @@
+"""Codec registry behaviour and cross-codec properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compress import available_codecs, get_codec, measure
+from repro.errors import UnknownCodecError
+
+ALL_CODECS = ["none", "gzip", "bzip2", "lzma", "xz", "lz4", "lzo"]
+
+
+def test_all_expected_codecs_registered():
+    assert set(ALL_CODECS) <= set(available_codecs())
+
+
+def test_unknown_codec_raises():
+    with pytest.raises(UnknownCodecError, match="available"):
+        get_codec("zstd")
+
+
+@pytest.mark.parametrize("name", ALL_CODECS)
+def test_empty_and_tiny_inputs(name):
+    codec = get_codec(name)
+    for payload in (b"", b"a", b"ab", b"abc" * 2):
+        assert codec.decompress(codec.compress(payload)) == payload
+
+
+@pytest.mark.parametrize("name", ALL_CODECS)
+def test_repetitive_payload_roundtrip_and_ratio(name):
+    payload = (b"\x55\x48\x89\xe5" + bytes(range(32))) * 512
+    codec = get_codec(name)
+    restored = codec.decompress(codec.compress(payload))
+    assert restored == payload
+    if name != "none":
+        assert codec.ratio(payload) < 0.5  # highly repetitive input compresses
+
+
+def test_none_codec_is_identity():
+    codec = get_codec("none")
+    payload = bytes(range(256))
+    assert codec.compress(payload) == payload
+    assert codec.ratio(payload) == 1.0
+
+
+def test_measure_reports_sizes():
+    stats = measure("gzip", b"hello world " * 100)
+    assert stats.uncompressed_bytes == 1200
+    assert 0 < stats.compressed_bytes < 1200
+    assert stats.savings_pct > 0
+    assert stats.codec == "gzip"
+
+
+def test_measure_empty_payload():
+    stats = measure("none", b"")
+    assert stats.ratio == 1.0
+
+
+def test_ratio_ordering_matches_table1():
+    """LZ4 trades ratio for speed: it compresses worse than gzip/xz."""
+    payload = (bytes(range(64)) + b"\x90" * 64) * 256
+    lz4 = get_codec("lz4").ratio(payload)
+    gzip = get_codec("gzip").ratio(payload)
+    xz = get_codec("xz").ratio(payload)
+    assert lz4 > gzip > 0
+    assert xz <= gzip
+
+
+@settings(max_examples=40, deadline=None)
+@given(payload=st.binary(max_size=4096))
+@pytest.mark.parametrize("name", ALL_CODECS)
+def test_roundtrip_property(name, payload):
+    codec = get_codec(name)
+    assert codec.decompress(codec.compress(payload)) == payload

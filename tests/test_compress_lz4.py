@@ -1,0 +1,102 @@
+"""LZ4 block-format specifics: token layout, overlap copies, corruption."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compress.lz4c import Lz4Codec
+from repro.errors import CompressionError
+
+codec = Lz4Codec()
+
+
+def test_short_input_is_all_literals():
+    payload = b"0123456789"
+    out = codec.compress(payload)
+    # token with literal nibble, no match: decoded = payload
+    assert codec.decompress(out) == payload
+    assert out[0] >> 4 == len(payload)
+
+
+def test_long_literal_run_extension_bytes():
+    payload = bytes(range(256)) * 2  # 512 incompressible-ish bytes
+    out = codec.compress(payload)
+    assert codec.decompress(out) == payload
+
+
+def test_overlapping_match_rle():
+    # Classic RLE-through-LZ4: offset 1, long match.
+    payload = b"a" * 1000
+    out = codec.compress(payload)
+    assert len(out) < 40
+    assert codec.decompress(out) == payload
+
+
+def test_overlap_with_period_three():
+    payload = b"abc" * 500
+    assert codec.decompress(codec.compress(payload)) == payload
+
+
+def test_matches_across_64k_window_limit():
+    # Repetition separated by more than 65535 bytes cannot be matched.
+    block = bytes(range(256)) * 16  # 4096 bytes
+    payload = block + b"\x00" * 70000 + block
+    assert codec.decompress(codec.compress(payload)) == payload
+
+
+def test_empty_block_rejected_on_decompress():
+    with pytest.raises(CompressionError, match="empty"):
+        codec.decompress(b"")
+
+
+def test_bad_offset_rejected():
+    # token: 0 literals + match, offset 0xFFFF with empty history.
+    bad = bytes([0x00]) + struct.pack("<H", 0xFFFF)
+    with pytest.raises(CompressionError, match="offset"):
+        codec.decompress(bad)
+
+
+def test_zero_offset_rejected():
+    bad = bytes([0x10]) + b"A" + struct.pack("<H", 0)
+    with pytest.raises(CompressionError, match="offset"):
+        codec.decompress(bad)
+
+
+def test_truncated_literal_run_rejected():
+    bad = bytes([0x50]) + b"ab"  # promises 5 literals, supplies 2
+    with pytest.raises(CompressionError, match="literal"):
+        codec.decompress(bad)
+
+
+def test_truncated_offset_rejected():
+    bad = bytes([0x12]) + b"A" + b"\x01"  # half an offset
+    with pytest.raises(CompressionError, match="truncated"):
+        codec.decompress(bad)
+
+
+def test_last_five_bytes_are_literals():
+    # Spec invariant: a compressed block always ends in a literal run
+    # covering at least the final 5 bytes.
+    payload = b"xyz" * 100
+    out = codec.compress(payload)
+    # decode manually: last sequence must be literals-only (ends the stream)
+    assert codec.decompress(out)[-5:] == payload[-5:]
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.binary(min_size=0, max_size=8192))
+def test_roundtrip_random(payload):
+    assert codec.decompress(codec.compress(payload)) == payload
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.sampled_from([b"\x90\x90\x90\x90", b"PUSH", b"\x00\x01", b"ret!"]),
+        max_size=600,
+    )
+)
+def test_roundtrip_patterned(chunks):
+    payload = b"".join(chunks)
+    assert codec.decompress(codec.compress(payload)) == payload

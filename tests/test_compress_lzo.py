@@ -1,0 +1,65 @@
+"""LZO1X-style codec wire format and corruption handling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compress.lzoc import LzoCodec
+from repro.errors import CompressionError
+
+codec = LzoCodec()
+
+
+def test_tiny_input_literal_only():
+    assert codec.decompress(codec.compress(b"ab")) == b"ab"
+
+
+def test_repetitive_input_compresses():
+    payload = b"kernel" * 400
+    out = codec.compress(payload)
+    assert len(out) < len(payload) // 4
+    assert codec.decompress(out) == payload
+
+
+def test_min_match_is_three():
+    # Two-byte repeats alone cannot form matches; still round-trips.
+    payload = b"ababababab"
+    assert codec.decompress(codec.compress(payload)) == payload
+
+
+def test_window_limit_respected():
+    block = bytes(range(200))
+    payload = block + bytes(60 * 1024) + block  # beyond the 48 KiB window
+    assert codec.decompress(codec.compress(payload)) == payload
+
+
+def test_bad_opcode_rejected():
+    with pytest.raises(CompressionError, match="opcode"):
+        codec.decompress(b"\x07\x01\x02")
+
+
+def test_truncated_varint_rejected():
+    with pytest.raises(CompressionError, match="varint"):
+        codec.decompress(b"\x00\xff")
+
+
+def test_literal_run_exceeding_input_rejected():
+    with pytest.raises(CompressionError, match="exceeds"):
+        codec.decompress(b"\x00\x10" + b"ab")
+
+
+def test_bad_match_distance_rejected():
+    # literal 'a' then match at distance 9 (history is 1 byte)
+    bad = b"\x00\x01a" + b"\x01\x00\x09"
+    with pytest.raises(CompressionError, match="distance"):
+        codec.decompress(bad)
+
+
+def test_overlapping_match():
+    payload = b"z" * 5000
+    assert codec.decompress(codec.compress(payload)) == payload
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.binary(max_size=8192))
+def test_roundtrip_random(payload):
+    assert codec.decompress(codec.compress(payload)) == payload

@@ -1,0 +1,75 @@
+"""Kernel-constants ELF note (Section 4.3 future work)."""
+
+import pytest
+
+from repro.elf.notes import parse_notes
+from repro.errors import BootProtocolError
+from repro.kernel import layout as kl
+from repro.kernel.constants_note import KernelConstants
+
+
+def test_builder_emits_constants_note(tiny_kaslr):
+    notes = parse_notes(tiny_kaslr.elf.section(".notes").data)
+    constants = KernelConstants.from_notes(notes)
+    assert constants is not None
+    assert constants.phys_start == kl.PHYS_LOAD_ADDR
+    assert constants.phys_align == kl.KERNEL_ALIGN
+    assert constants.start_kernel_map == kl.START_KERNEL_MAP
+    assert constants.kernel_image_size == kl.KERNEL_IMAGE_SIZE
+
+
+def test_note_roundtrip():
+    constants = KernelConstants(phys_start=0x2000000)
+    back = KernelConstants.from_notes([constants.pack_note()])
+    assert back == constants
+
+
+def test_missing_note_returns_none():
+    assert KernelConstants.from_notes([]) is None
+
+
+def test_truncated_note_rejected():
+    note = KernelConstants().pack_note()
+    from repro.elf.notes import ElfNote
+
+    short = ElfNote(name=note.name, note_type=note.note_type, desc=note.desc[:8])
+    with pytest.raises(BootProtocolError, match="truncated"):
+        KernelConstants.from_notes([short])
+
+
+def test_contract_check_passes_for_matching_kernel():
+    KernelConstants().check_monitor_contract()
+
+
+def test_contract_check_rejects_mismatched_kernel():
+    weird = KernelConstants(phys_start=0x4000000)
+    with pytest.raises(BootProtocolError, match="disagree"):
+        weird.check_monitor_contract()
+
+
+def test_randomizer_validates_note(tiny_kaslr):
+    """A kernel advertising alien constants must be refused, not corrupted."""
+    import random
+
+    from repro.core import InMonitorRandomizer, RandoContext, RandomizeMode
+    from repro.elf.notes import pack_notes
+    from repro.elf.reader import ElfImage
+    from repro.simtime import CostModel, SimClock
+    from repro.vm import GuestMemory
+
+    # Rewrite the .notes payload in place with a mismatching constants note.
+    data = bytearray(tiny_kaslr.vmlinux)
+    section = tiny_kaslr.elf.section(".notes")
+    bad = pack_notes([KernelConstants(phys_start=0x4000000).pack_note()])
+    offset = section.header.sh_offset
+    data[offset : offset + len(bad)] = bad
+    # pad the remainder of the old section with empty space
+    data[offset + len(bad) : offset + section.size] = bytes(section.size - len(bad))
+    alien = ElfImage(bytes(data))
+
+    ctx = RandoContext.monitor(SimClock(), CostModel(scale=1), random.Random(0))
+    with pytest.raises(BootProtocolError, match="disagree"):
+        InMonitorRandomizer().run(
+            alien, tiny_kaslr.reloc_table, GuestMemory(64 << 20), ctx,
+            RandomizeMode.KASLR, guest_ram_bytes=64 << 20,
+        )

@@ -1,0 +1,51 @@
+"""RandoContext: the two principals."""
+
+import random
+
+from repro.core import LOADER_STEPS, MONITOR_STEPS, RandoContext
+from repro.simtime import BootCategory, BootStep, CostModel, SimClock
+
+
+def test_monitor_context_attribution():
+    ctx = RandoContext.monitor(SimClock(), CostModel(scale=1), random.Random(0))
+    assert ctx.category is BootCategory.IN_MONITOR
+    assert ctx.steps is MONITOR_STEPS
+    assert not ctx.in_guest
+
+
+def test_loader_context_attribution():
+    ctx = RandoContext.loader(SimClock(), CostModel(scale=1), random.Random(0))
+    assert ctx.category is BootCategory.BOOTSTRAP_SETUP
+    assert ctx.steps is LOADER_STEPS
+    assert ctx.in_guest
+
+
+def test_charge_lands_in_context_category():
+    clock = SimClock()
+    ctx = RandoContext.loader(clock, CostModel(scale=1), random.Random(0))
+    ctx.charge(1000, ctx.steps.relocate, label="x")
+    assert clock.timeline.category_ns(BootCategory.BOOTSTRAP_SETUP) == 1000
+    assert clock.timeline.step_ns(BootStep.LOADER_RELOCATE) == 1000
+
+
+def test_step_sets_are_parallel():
+    for field in ("parse", "rng", "shuffle", "segment_load", "relocate",
+                  "table_fixup"):
+        monitor_step = getattr(MONITOR_STEPS, field)
+        loader_step = getattr(LOADER_STEPS, field)
+        assert monitor_step.value.startswith("monitor_")
+        assert loader_step.value.startswith("loader_")
+        assert monitor_step is not loader_step
+
+
+def test_entropy_cost_differs_by_principal():
+    costs = CostModel(scale=1)
+    clock_m = SimClock()
+    RandoContext.monitor(clock_m, costs, random.Random(0)).charge(
+        costs.rng_ns(1, in_guest=False), MONITOR_STEPS.rng
+    )
+    clock_l = SimClock()
+    RandoContext.loader(clock_l, costs, random.Random(0)).charge(
+        costs.rng_ns(1, in_guest=True), LOADER_STEPS.rng
+    )
+    assert clock_l.now_ns > clock_m.now_ns

@@ -1,0 +1,113 @@
+"""The in-monitor randomization pipeline end to end."""
+
+import pytest
+
+from repro.core import RandomizeMode
+from repro.errors import RandomizationError
+from repro.kernel import layout as kl
+from repro.kernel.verify import verify_guest_kernel
+from repro.simtime import BootStep
+
+from helpers import randomize_into_memory, walker_for
+
+
+def test_none_mode_loads_at_link_layout(tiny_nokaslr):
+    layout, loaded, memory, _ = randomize_into_memory(
+        tiny_nokaslr, RandomizeMode.NONE
+    )
+    assert layout.voffset == 0
+    assert not layout.randomized
+    assert loaded.phys_load == kl.PHYS_LOAD_ADDR
+    assert loaded.entry_vaddr == kl.LINK_VBASE
+
+
+def test_kaslr_randomizes_virtual_only(tiny_kaslr):
+    layout, loaded, memory, _ = randomize_into_memory(tiny_kaslr, RandomizeMode.KASLR)
+    assert layout.voffset != 0
+    assert layout.voffset % kl.KERNEL_ALIGN == 0
+    assert layout.phys_load == kl.PHYS_LOAD_ADDR  # physical untouched
+    assert not layout.fine_grained
+    assert layout.relocs_applied == tiny_kaslr.reloc_table.entry_count
+
+
+def test_fgkaslr_randomizes_sections_too(tiny_fgkaslr):
+    layout, loaded, memory, _ = randomize_into_memory(
+        tiny_fgkaslr, RandomizeMode.FGKASLR
+    )
+    assert layout.fine_grained
+    assert layout.entropy_bits_fg > layout.entropy_bits_base
+
+
+def test_verification_passes_for_all_modes(tiny_nokaslr, tiny_kaslr, tiny_fgkaslr):
+    for img, mode in [
+        (tiny_nokaslr, RandomizeMode.NONE),
+        (tiny_kaslr, RandomizeMode.KASLR),
+        (tiny_fgkaslr, RandomizeMode.FGKASLR),
+    ]:
+        layout, loaded, memory, _ = randomize_into_memory(img, mode, seed=21)
+        walker = walker_for(memory, layout, loaded)
+        report = verify_guest_kernel(memory, walker, layout, img.manifest)
+        assert report.functions_checked > 0
+
+
+def test_randomize_without_relocs_rejected(tiny_kaslr):
+    import random
+
+    from repro.core import InMonitorRandomizer, RandoContext
+    from repro.simtime import CostModel, SimClock
+    from repro.vm import GuestMemory
+
+    ctx = RandoContext.monitor(SimClock(), CostModel(scale=1), random.Random(0))
+    with pytest.raises(RandomizationError, match="vmlinux.relocs"):
+        InMonitorRandomizer().run(
+            tiny_kaslr.elf,
+            None,
+            GuestMemory(64 << 20),
+            ctx,
+            RandomizeMode.KASLR,
+            guest_ram_bytes=64 << 20,
+        )
+
+
+def test_seed_determinism(tiny_fgkaslr):
+    l1, _, _, _ = randomize_into_memory(tiny_fgkaslr, RandomizeMode.FGKASLR, seed=5)
+    l2, _, _, _ = randomize_into_memory(tiny_fgkaslr, RandomizeMode.FGKASLR, seed=5)
+    l3, _, _, _ = randomize_into_memory(tiny_fgkaslr, RandomizeMode.FGKASLR, seed=6)
+    assert l1.voffset == l2.voffset and l1.moved == l2.moved
+    assert (l3.voffset, l3.moved) != (l1.voffset, l1.moved)
+
+
+def test_fgkaslr_charges_parse_shuffle_relocate(tiny_fgkaslr):
+    _, _, _, clock = randomize_into_memory(tiny_fgkaslr, RandomizeMode.FGKASLR)
+    steps = clock.timeline.step_totals_ns()
+    for step in (
+        BootStep.MONITOR_ELF_PARSE,
+        BootStep.MONITOR_RNG,
+        BootStep.MONITOR_SHUFFLE,
+        BootStep.MONITOR_RELOCATE,
+        BootStep.MONITOR_TABLE_FIXUP,
+        BootStep.MONITOR_SEGMENT_LOAD,
+    ):
+        assert steps.get(step, 0) > 0, step
+
+
+def test_kaslr_cheaper_than_fgkaslr(tiny_kaslr, tiny_fgkaslr):
+    _, _, _, ck = randomize_into_memory(tiny_kaslr, RandomizeMode.KASLR)
+    _, _, _, cf = randomize_into_memory(tiny_fgkaslr, RandomizeMode.FGKASLR)
+    assert cf.now_ns > 2 * ck.now_ns
+
+
+def test_loaded_geometry_matches_manifest(tiny_kaslr):
+    layout, loaded, _, _ = randomize_into_memory(tiny_kaslr, RandomizeMode.KASLR)
+    assert loaded.mem_bytes == tiny_kaslr.manifest.mem_bytes
+    assert loaded.image_bytes == tiny_kaslr.manifest.image_bytes
+
+
+def test_in_place_charges_extra_copy(tiny_fgkaslr):
+    _, _, _, stream = randomize_into_memory(
+        tiny_fgkaslr, RandomizeMode.FGKASLR, in_place=False
+    )
+    _, _, _, inplace = randomize_into_memory(
+        tiny_fgkaslr, RandomizeMode.FGKASLR, in_place=True
+    )
+    assert inplace.now_ns > stream.now_ns

@@ -1,0 +1,69 @@
+"""LayoutResult displacement/address arithmetic."""
+
+from repro.core import LayoutResult
+from repro.kernel import layout as kl
+
+V = kl.LINK_VBASE
+
+
+def _layout(voffset=0x2000000, moved=None):
+    layout = LayoutResult(voffset=voffset, phys_load=kl.PHYS_LOAD_ADDR)
+    layout.moved = moved or []
+    return layout.finalize()
+
+
+def test_plain_kaslr_shifts_everything():
+    layout = _layout()
+    assert layout.final_vaddr(V + 0x1234) == V + 0x1234 + 0x2000000
+    assert layout.displacement_for(V + 0x1234) == 0
+    assert layout.randomized and not layout.fine_grained
+
+
+def test_moved_section_displacement():
+    layout = _layout(moved=[(V + 0x1000, 0x100, 0x500), (V + 0x2000, 0x80, -0x300)])
+    assert layout.displacement_for(V + 0x1000) == 0x500
+    assert layout.displacement_for(V + 0x10FF) == 0x500
+    assert layout.displacement_for(V + 0x1100) == 0  # just past the section
+    assert layout.displacement_for(V + 0x2000) == -0x300
+    assert layout.fine_grained
+
+
+def test_final_vaddr_combines_move_and_offset():
+    layout = _layout(voffset=0x400000, moved=[(V + 0x1000, 0x100, 0x500)])
+    assert layout.final_vaddr(V + 0x1010) == V + 0x1010 + 0x500 + 0x400000
+
+
+def test_final_paddr_ignores_voffset():
+    """Virtual randomization moves mappings, not bytes."""
+    layout = _layout(voffset=0x800000, moved=[(V + 0x1000, 0x100, 0x40)])
+    assert layout.final_paddr(V + 0x1000) == kl.PHYS_LOAD_ADDR + 0x1040
+    assert layout.final_paddr(V) == kl.PHYS_LOAD_ADDR
+
+
+def test_unsorted_moves_are_sorted_on_finalize():
+    layout = LayoutResult(voffset=0)
+    layout.moved = [(V + 0x2000, 0x10, 1), (V + 0x1000, 0x10, 2)]
+    layout.finalize()
+    assert layout.displacement_for(V + 0x1005) == 2
+    assert layout.displacement_for(V + 0x2005) == 1
+
+
+def test_entry_vaddr():
+    assert _layout(voffset=0x600000).entry_vaddr == V + 0x600000
+
+
+def test_not_randomized():
+    layout = _layout(voffset=0)
+    assert not layout.randomized
+    assert layout.total_entropy_bits == 0.0
+
+
+def test_address_below_all_moves():
+    layout = _layout(moved=[(V + 0x1000, 0x100, 0x500)])
+    assert layout.displacement_for(V) == 0
+
+
+def test_final_image_offset():
+    layout = _layout(voffset=0x200000, moved=[(V + 0x1000, 0x100, 0x500)])
+    assert layout.final_image_offset(0x1000) == 0x1500
+    assert layout.final_image_offset(0x3000) == 0x3000

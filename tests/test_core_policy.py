@@ -1,0 +1,99 @@
+"""Offset policy: alignment, windows, entropy."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import RandoContext, RandomizationPolicy
+from repro.errors import RandomizationError
+from repro.kernel import layout as kl
+from repro.simtime import CostModel, SimClock
+
+MIB = 1024 * 1024
+
+
+def _ctx(seed=1):
+    return RandoContext.monitor(SimClock(), CostModel(scale=1), random.Random(seed))
+
+
+def test_offsets_aligned_and_in_window():
+    policy = RandomizationPolicy()
+    image = 40 * MIB
+    for seed in range(50):
+        off = policy.choose_virtual_offset(_ctx(seed), image)
+        assert off % kl.KERNEL_ALIGN == 0
+        assert policy.min_offset <= off
+        assert off + image <= policy.max_offset
+
+
+def test_slot_count_shrinks_with_image_size():
+    policy = RandomizationPolicy()
+    assert policy.slot_count(800 * MIB) < policy.slot_count(20 * MIB)
+
+
+def test_entropy_bits_matches_paper_order():
+    """~9 bits of base-KASLR entropy for a typical kernel."""
+    policy = RandomizationPolicy()
+    bits = policy.entropy_bits(40 * MIB)
+    assert 8.5 <= bits <= 9.0
+
+
+def test_paper_scale_entropy_override():
+    policy = RandomizationPolicy()
+    scaled = policy.entropy_bits(40 * MIB // 16, paper_scale_bytes=40 * MIB)
+    assert scaled == policy.entropy_bits(40 * MIB)
+
+
+def test_image_too_big_rejected():
+    policy = RandomizationPolicy()
+    with pytest.raises(RandomizationError, match="window"):
+        policy.slot_count(policy.max_offset + 1)
+
+
+def test_offset_draw_charges_entropy():
+    policy = RandomizationPolicy()
+    ctx = _ctx()
+    policy.choose_virtual_offset(ctx, 16 * MIB)
+    assert ctx.clock.now_ns > 0
+
+
+def test_physical_offset_fixed_by_default():
+    policy = RandomizationPolicy()
+    assert policy.choose_physical_offset(_ctx(), 16 * MIB, 256 * MIB) == kl.PHYS_LOAD_ADDR
+
+
+def test_physical_offset_randomized_when_enabled():
+    policy = RandomizationPolicy(randomize_physical=True)
+    offsets = {
+        policy.choose_physical_offset(_ctx(seed), 16 * MIB, 512 * MIB)
+        for seed in range(30)
+    }
+    assert len(offsets) > 5
+    for off in offsets:
+        assert off >= kl.PHYS_LOAD_ADDR
+        assert off % kl.KERNEL_ALIGN == 0
+        assert off + 16 * MIB <= 512 * MIB
+
+
+def test_physical_randomization_requires_ram():
+    policy = RandomizationPolicy(randomize_physical=True)
+    with pytest.raises(RandomizationError, match="RAM"):
+        policy.choose_physical_offset(_ctx(), 100 * MIB, 64 * MIB)
+
+
+def test_offsets_cover_many_slots():
+    """Uniformity smoke check: many seeds -> many distinct slots."""
+    policy = RandomizationPolicy()
+    image = 16 * MIB
+    offsets = {policy.choose_virtual_offset(_ctx(s), image) for s in range(300)}
+    slots = policy.slot_count(image)
+    assert len(offsets) > slots * 0.35
+
+
+def test_entropy_is_log2_of_slots():
+    policy = RandomizationPolicy()
+    image = 64 * MIB
+    assert policy.entropy_bits(image) == pytest.approx(
+        math.log2(policy.slot_count(image))
+    )

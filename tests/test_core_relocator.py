@@ -1,0 +1,116 @@
+"""Relocation application: the three classes, remapping, integrity checks."""
+
+import random
+import struct
+
+import pytest
+
+from repro.core import LayoutResult, RandoContext
+from repro.core.relocator import Relocator
+from repro.elf.relocs import RelocationTable, RelocType
+from repro.errors import RandomizationError
+from repro.kernel import layout as kl
+from repro.simtime import CostModel, SimClock
+from repro.vm import GuestMemory
+
+V = kl.LINK_VBASE
+P = kl.PHYS_LOAD_ADDR
+MIB = 1024 * 1024
+
+
+def _ctx():
+    return RandoContext.monitor(SimClock(), CostModel(scale=1), random.Random(0))
+
+
+def _mem_with(offset: int, value: bytes) -> GuestMemory:
+    memory = GuestMemory(64 * MIB)
+    memory.write(P + offset, value)
+    return memory
+
+
+def _layout(voffset: int, moved=None) -> LayoutResult:
+    layout = LayoutResult(voffset=voffset, phys_load=P)
+    layout.moved = moved or []
+    return layout.finalize()
+
+
+def test_abs64_gets_offset_added():
+    memory = _mem_with(0x100, struct.pack("<Q", V + 0x5000))
+    layout = _layout(0x2000000)
+    Relocator(memory, layout).apply(RelocationTable(abs64=[0x100]), _ctx())
+    assert memory.read_u64(P + 0x100) == V + 0x5000 + 0x2000000
+
+
+def test_abs32_gets_offset_added_low_bits():
+    memory = _mem_with(0x100, struct.pack("<I", (V + 0x5000) & 0xFFFFFFFF))
+    layout = _layout(0x400000)
+    Relocator(memory, layout).apply(RelocationTable(abs32=[0x100]), _ctx())
+    assert memory.read_u32(P + 0x100) == (V + 0x5000 + 0x400000) & 0xFFFFFFFF
+
+
+def test_inv32_gets_offset_subtracted():
+    stored = (-(V + 0x5000)) & 0xFFFFFFFF
+    memory = _mem_with(0x100, struct.pack("<I", stored))
+    layout = _layout(0x400000)
+    Relocator(memory, layout).apply(RelocationTable(inv32=[0x100]), _ctx())
+    assert memory.read_u32(P + 0x100) == (-(V + 0x5000 + 0x400000)) & 0xFFFFFFFF
+
+
+def test_fgkaslr_target_displacement_applied():
+    # value points into a moved section: gains section delta + voffset
+    memory = _mem_with(0x100, struct.pack("<Q", V + 0x5010))
+    layout = _layout(0x200000, moved=[(V + 0x5000, 0x100, 0x1000)])
+    Relocator(memory, layout).apply(RelocationTable(abs64=[0x100]), _ctx())
+    assert memory.read_u64(P + 0x100) == V + 0x5010 + 0x1000 + 0x200000
+
+
+def test_fgkaslr_site_in_moved_section_remapped():
+    # The site itself lives in a moved section: fixup applies at new home.
+    layout = _layout(0x200000, moved=[(V + 0x100, 0x100, 0x3000)])
+    memory = GuestMemory(64 * MIB)
+    memory.write(P + 0x120 + 0x3000, struct.pack("<Q", V + 0x9000))
+    Relocator(memory, layout).apply(RelocationTable(abs64=[0x120]), _ctx())
+    # the moved copy got relocated...
+    assert memory.read_u64(P + 0x3120) == V + 0x9000 + 0x200000
+    # ...and the stale original location was never touched
+    assert memory.read_u64(P + 0x120) == 0
+
+
+def test_non_kernel_value_rejected():
+    memory = _mem_with(0x100, struct.pack("<Q", 0x1234))
+    with pytest.raises(RandomizationError, match="not a kernel virtual address"):
+        Relocator(memory, _layout(0x200000)).apply(
+            RelocationTable(abs64=[0x100]), _ctx()
+        )
+
+
+def test_costs_charged_per_entry_and_search():
+    memory = GuestMemory(64 * MIB)
+    table = RelocationTable()
+    for i in range(100):
+        memory.write(P + i * 8, struct.pack("<Q", V + 0x1000))
+        table.add(RelocType.ABS64, i * 8)
+    ctx_plain = _ctx()
+    Relocator(memory, _layout(0x200000)).apply(table, ctx_plain)
+
+    memory2 = GuestMemory(64 * MIB)
+    for i in range(100):
+        memory2.write(P + i * 8, struct.pack("<Q", V + 0x1000))
+    ctx_fg = _ctx()
+    layout_fg = _layout(0x200000, moved=[(V + 0x900000, 0x10, 0x10)])
+    Relocator(memory2, layout_fg).apply(table, ctx_fg)
+    assert ctx_fg.clock.now_ns > ctx_plain.clock.now_ns  # binary-search surcharge
+
+
+def test_empty_table_is_free():
+    ctx = _ctx()
+    n = Relocator(GuestMemory(MIB), _layout(0x200000)).apply(RelocationTable(), ctx)
+    assert n == 0
+    assert ctx.clock.now_ns == 0
+
+
+def test_relocs_applied_counter():
+    memory = _mem_with(0x100, struct.pack("<Q", V))
+    layout = _layout(0x200000)
+    Relocator(memory, layout).apply(RelocationTable(abs64=[0x100]), _ctx())
+    assert layout.relocs_applied == 1

@@ -1,0 +1,69 @@
+"""Determinism guarantees: same seed, same everything — even with jitter."""
+
+from repro.analysis import run_boots
+from repro.core import RandomizeMode
+from repro.host import HostStorage
+from repro.monitor import Firecracker, VmConfig
+from repro.simtime import CostModel, JitterModel
+
+
+def _vmm():
+    return Firecracker(
+        HostStorage(), CostModel(scale=1, jitter=JitterModel(sigma=0.03))
+    )
+
+
+def test_identical_boots_with_jitter(tiny_kaslr):
+    """Jitter is seeded from the boot seed: same seed -> same trace."""
+    reports = []
+    for _ in range(2):
+        vmm = _vmm()
+        cfg = VmConfig(kernel=tiny_kaslr, randomize=RandomizeMode.KASLR, seed=99)
+        vmm.warm_caches(cfg)
+        reports.append(vmm.boot(cfg))
+    a, b = reports
+    assert a.total_ms == b.total_ms
+    assert a.layout.voffset == b.layout.voffset
+    assert a.breakdown_ms() == b.breakdown_ms()
+
+
+def test_jitter_gives_error_bars_across_seeds(tiny_kaslr):
+    vmm = _vmm()
+    cfg = VmConfig(kernel=tiny_kaslr, randomize=RandomizeMode.KASLR)
+    series = run_boots(vmm, cfg, n=10)
+    assert series.total.min < series.total.mean < series.total.max
+    assert series.total.std > 0
+
+
+def test_no_jitter_means_tight_series(tiny_nokaslr, fc):
+    cfg = VmConfig(kernel=tiny_nokaslr, randomize=RandomizeMode.NONE)
+    series = run_boots(fc, cfg, n=5)
+    # without randomization or jitter every boot is byte-identical in time
+    assert series.total.min == series.total.max
+
+
+def test_series_is_reproducible(tiny_fgkaslr):
+    def measure():
+        vmm = _vmm()
+        cfg = VmConfig(kernel=tiny_fgkaslr, randomize=RandomizeMode.FGKASLR)
+        return run_boots(vmm, cfg, n=6, seed0=400)
+
+    a, b = measure(), measure()
+    assert [r.total_ms for r in a.reports] == [r.total_ms for r in b.reports]
+    assert [r.layout.voffset for r in a.reports] == [
+        r.layout.voffset for r in b.reports
+    ]
+
+
+def test_vmm_identity_influences_jitter_not_layout(tiny_kaslr, storage):
+    """QEMU and Firecracker draw different jitter but identical layouts."""
+    from repro.monitor import Qemu
+
+    costs = CostModel(scale=1, jitter=JitterModel(sigma=0.03))
+    cfg = VmConfig(kernel=tiny_kaslr, randomize=RandomizeMode.KASLR, seed=5)
+    fc = Firecracker(storage, costs)
+    qemu = Qemu(storage, costs)
+    fc.warm_caches(cfg)
+    a = fc.boot(cfg)
+    b = qemu.boot(cfg)
+    assert a.layout.voffset == b.layout.voffset

@@ -1,0 +1,111 @@
+"""Edge cases across subsystems."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    FgkaslrEngine,
+    InMonitorRandomizer,
+    RandoContext,
+    RandomizationPolicy,
+    RandomizeMode,
+)
+from repro.errors import RandomizationError
+from repro.kernel import TINY, KernelVariant, build_kernel
+from repro.simtime import CostModel, SimClock
+from repro.vm import GuestMemory
+
+MIB = 1024 * 1024
+
+
+def _ctx(seed=0, scale=1):
+    return RandoContext.monitor(SimClock(), CostModel(scale=scale), random.Random(seed))
+
+
+def test_abs32_overflow_detected():
+    """A relocated 32-bit value leaving the low-4GiB window must fail."""
+    import struct
+
+    from repro.core import LayoutResult
+    from repro.core.relocator import Relocator
+    from repro.elf.relocs import RelocationTable
+    from repro.kernel import layout as kl
+
+    memory = GuestMemory(64 * MIB)
+    # value near the very top of the 32-bit space
+    memory.write(kl.PHYS_LOAD_ADDR, struct.pack("<I", 0xFFFFFFF0))
+    layout = LayoutResult(voffset=0x2000000, phys_load=kl.PHYS_LOAD_ADDR).finalize()
+    with pytest.raises(RandomizationError, match="no longer fits"):
+        Relocator(memory, layout).apply(RelocationTable(abs32=[0]), _ctx())
+
+
+def test_policy_minimal_window():
+    """A window with exactly one slot always chooses it."""
+    policy = RandomizationPolicy(
+        min_offset=0x1000000, max_offset=0x1000000 + 64 * 1024, align=0x200000,
+    )
+    assert policy.slot_count(64 * 1024) == 1
+    for seed in range(5):
+        assert policy.choose_virtual_offset(_ctx(seed), 64 * 1024) == 0x1000000
+
+
+def test_engine_plan_single_section():
+    config = TINY.scaled(1)
+    import dataclasses
+
+    tiny_one = dataclasses.replace(config, name="one", n_functions=16)
+    kernel = build_kernel(tiny_one, KernelVariant.FGKASLR, scale=1, seed=0)
+    plan = FgkaslrEngine().plan(kernel.elf, _ctx())
+    assert plan.n_sections == 16
+    assert plan.permutation_entropy_bits() > 0
+
+
+def test_guest_ram_too_small_for_image():
+    kernel = build_kernel(TINY, KernelVariant.KASLR, scale=1, seed=0)
+    memory = GuestMemory(8 * MIB)  # kernel loads at 16 MiB -> cannot fit
+    from repro.errors import GuestMemoryError
+
+    with pytest.raises(GuestMemoryError):
+        InMonitorRandomizer().run(
+            kernel.elf, kernel.reloc_table, memory, _ctx(),
+            RandomizeMode.KASLR, guest_ram_bytes=memory.size,
+        )
+
+
+def test_zero_jitter_charges_exact():
+    costs = CostModel(scale=1)
+    assert costs.vmm_startup() == costs.vmm_startup_ns
+
+
+def test_renderer_handles_single_value_rows():
+    from repro.analysis import render_table
+
+    out = render_table(["a"], [["only"]])
+    assert "only" in out
+
+
+def test_fgkaslr_mode_on_plain_kernel_raises(tiny_kaslr):
+    memory = GuestMemory(64 * MIB)
+    with pytest.raises(RandomizationError, match="ffunction-sections"):
+        InMonitorRandomizer().run(
+            tiny_kaslr.elf, tiny_kaslr.reloc_table, memory, _ctx(),
+            RandomizeMode.FGKASLR, guest_ram_bytes=memory.size,
+        )
+
+
+def test_scale_consistency_of_boot_shape():
+    """The same experiment at different build scales gives similar times."""
+    from repro.host import HostStorage
+    from repro.monitor import Firecracker, VmConfig
+    from repro.kernel import AWS
+    from repro.artifacts import get_kernel
+
+    totals = {}
+    for scale in (32, 64):
+        vmm = Firecracker(HostStorage(), CostModel(scale=scale))
+        kernel = get_kernel(AWS, KernelVariant.KASLR, scale=scale)
+        cfg = VmConfig(kernel=kernel, randomize=RandomizeMode.KASLR, seed=9)
+        vmm.warm_caches(cfg)
+        totals[scale] = vmm.boot(cfg).total_ms
+    assert totals[32] == pytest.approx(totals[64], rel=0.12)

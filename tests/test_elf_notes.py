@@ -1,0 +1,54 @@
+"""ELF notes and the PVH entry note."""
+
+import pytest
+
+from repro.elf.notes import (
+    ElfNote,
+    find_pvh_entry,
+    pack_notes,
+    parse_notes,
+    pvh_entry_note,
+)
+from repro.errors import ElfParseError
+
+
+def test_single_note_roundtrip():
+    note = ElfNote(name="Xen", note_type=18, desc=b"\x00\x00\x00\x01")
+    assert parse_notes(note.pack()) == [note]
+
+
+def test_multiple_notes_roundtrip():
+    notes = [
+        ElfNote("GNU", 1, b"abc"),
+        ElfNote("Xen", 18, b"\x34\x12\x00\x00"),
+        ElfNote("X", 7, b""),
+    ]
+    assert parse_notes(pack_notes(notes)) == notes
+
+
+def test_alignment_padding_applied():
+    # A 3-byte descriptor must be padded to a 4-byte boundary.
+    packed = ElfNote("A", 1, b"xyz").pack()
+    assert len(packed) % 4 == 0
+
+
+def test_pvh_entry_note_roundtrip():
+    notes = parse_notes(pvh_entry_note(0x1000000).pack())
+    assert find_pvh_entry(notes) == 0x1000000
+
+
+def test_find_pvh_entry_absent():
+    notes = [ElfNote("GNU", 1, b"hi")]
+    assert find_pvh_entry(notes) is None
+
+
+def test_find_pvh_entry_short_desc_raises():
+    notes = [ElfNote("Xen", 18, b"\x01")]
+    with pytest.raises(ElfParseError):
+        find_pvh_entry(notes)
+
+
+def test_truncated_descriptor_rejected():
+    blob = ElfNote("Xen", 18, b"\x00" * 8).pack()
+    with pytest.raises(ElfParseError):
+        parse_notes(blob[:-6])

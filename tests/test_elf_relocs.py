@@ -1,0 +1,80 @@
+"""vmlinux.relocs sidecar format."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.elf.relocs import RelocationTable, RelocType
+from repro.errors import RelocsError
+
+
+def test_roundtrip():
+    table = RelocationTable(abs64=[8, 64], abs32=[100, 104], inv32=[200])
+    back = RelocationTable.decode(table.encode())
+    assert back == table
+
+
+def test_entry_count_and_iteration_grouping():
+    table = RelocationTable(abs64=[1], abs32=[2, 3], inv32=[4])
+    assert table.entry_count == 4
+    kinds = [k for k, _ in table.iter_entries()]
+    assert kinds == [RelocType.ABS64, RelocType.ABS32, RelocType.ABS32, RelocType.INV32]
+
+
+def test_add_routes_to_buckets():
+    table = RelocationTable()
+    table.add(RelocType.ABS64, 10)
+    table.add(RelocType.ABS32, 20)
+    table.add(RelocType.INV32, 30)
+    assert (table.abs64, table.abs32, table.inv32) == ([10], [20], [30])
+
+
+def test_add_rejects_out_of_range():
+    table = RelocationTable()
+    with pytest.raises(RelocsError):
+        table.add(RelocType.ABS64, -1)
+    with pytest.raises(RelocsError):
+        table.add(RelocType.ABS64, 1 << 32)
+
+
+def test_sorted_copy():
+    table = RelocationTable(abs64=[5, 1], abs32=[9, 2], inv32=[7, 3])
+    ordered = table.sorted()
+    assert ordered.abs64 == [1, 5]
+    assert table.abs64 == [5, 1]  # original untouched
+
+
+def test_decode_bad_magic():
+    with pytest.raises(RelocsError, match="magic"):
+        RelocationTable.decode(b"XXXX" + bytes(16))
+
+
+def test_decode_truncated_header():
+    with pytest.raises(RelocsError, match="truncated"):
+        RelocationTable.decode(b"REL")
+
+
+def test_decode_truncated_body():
+    blob = RelocationTable(abs64=[1, 2, 3]).encode()
+    with pytest.raises(RelocsError, match="promises"):
+        RelocationTable.decode(blob[:-4])
+
+
+def test_encoded_size_matches():
+    table = RelocationTable(abs64=list(range(10)))
+    assert len(table.encode()) == table.encoded_size
+
+
+def test_site_width():
+    assert RelocType.ABS64.site_width == 8
+    assert RelocType.ABS32.site_width == 4
+    assert RelocType.INV32.site_width == 4
+
+
+@given(
+    abs64=st.lists(st.integers(0, 2**32 - 1), max_size=40),
+    abs32=st.lists(st.integers(0, 2**32 - 1), max_size=40),
+    inv32=st.lists(st.integers(0, 2**32 - 1), max_size=40),
+)
+def test_roundtrip_property(abs64, abs32, inv32):
+    table = RelocationTable(abs64=abs64, abs32=abs32, inv32=inv32)
+    assert RelocationTable.decode(table.encode()) == table

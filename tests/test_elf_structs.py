@@ -1,0 +1,80 @@
+"""ELF64 struct pack/unpack round-trips and validation."""
+
+import pytest
+
+from repro.elf import constants as c
+from repro.elf.structs import Elf64Ehdr, Elf64Phdr, Elf64Shdr, Elf64Sym
+from repro.errors import ElfParseError
+
+
+def test_ehdr_roundtrip():
+    ehdr = Elf64Ehdr(e_entry=0xFFFFFFFF81000000, e_phnum=3, e_shnum=7, e_shstrndx=6)
+    packed = ehdr.pack()
+    assert len(packed) == c.EHDR_SIZE
+    back = Elf64Ehdr.unpack(packed)
+    assert back == ehdr
+
+
+def test_ehdr_bad_magic():
+    data = bytearray(Elf64Ehdr().pack())
+    data[0] = 0x00
+    with pytest.raises(ElfParseError, match="magic"):
+        Elf64Ehdr.unpack(bytes(data))
+
+
+def test_ehdr_rejects_32bit():
+    data = bytearray(Elf64Ehdr().pack())
+    data[4] = 1  # ELFCLASS32
+    with pytest.raises(ElfParseError, match="ELF64"):
+        Elf64Ehdr.unpack(bytes(data))
+
+
+def test_ehdr_rejects_big_endian():
+    data = bytearray(Elf64Ehdr().pack())
+    data[5] = 2  # ELFDATA2MSB
+    with pytest.raises(ElfParseError, match="little-endian"):
+        Elf64Ehdr.unpack(bytes(data))
+
+
+def test_ehdr_truncated():
+    with pytest.raises(ElfParseError, match="truncated"):
+        Elf64Ehdr.unpack(b"\x7fELF")
+
+
+def test_phdr_roundtrip():
+    phdr = Elf64Phdr(
+        p_type=c.PT_LOAD,
+        p_flags=c.PF_R | c.PF_X,
+        p_offset=0x1000,
+        p_vaddr=0xFFFFFFFF81000000,
+        p_paddr=0x1000000,
+        p_filesz=0x2000,
+        p_memsz=0x3000,
+    )
+    assert Elf64Phdr.unpack(phdr.pack()) == phdr
+    assert len(phdr.pack()) == c.PHDR_SIZE
+
+
+def test_shdr_roundtrip_at_offset():
+    shdr = Elf64Shdr(sh_name=17, sh_type=c.SHT_PROGBITS, sh_addr=0x4000, sh_size=64)
+    blob = b"\xaa" * 8 + shdr.pack()
+    assert Elf64Shdr.unpack(blob, 8) == shdr
+
+
+def test_sym_info_encoding():
+    info = Elf64Sym.info(c.STB_GLOBAL, c.STT_FUNC)
+    sym = Elf64Sym(st_info=info)
+    assert sym.bind == c.STB_GLOBAL
+    assert sym.type == c.STT_FUNC
+
+
+def test_sym_roundtrip():
+    sym = Elf64Sym(st_name=5, st_info=0x12, st_shndx=2, st_value=0xDEAD, st_size=64)
+    assert Elf64Sym.unpack(sym.pack()) == sym
+
+
+def test_truncated_phdr_and_sym():
+    with pytest.raises(ElfParseError):
+        Elf64Phdr.unpack(b"\x00" * 8)
+    with pytest.raises(ElfParseError):
+        Elf64Sym.unpack(b"\x00" * 4)

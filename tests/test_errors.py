@@ -1,0 +1,38 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+def test_everything_derives_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            assert issubclass(obj, errors.ReproError), name
+
+
+def test_subsystem_grouping():
+    assert issubclass(errors.ElfParseError, errors.ElfError)
+    assert issubclass(errors.ElfLayoutError, errors.ElfError)
+    assert issubclass(errors.UnknownCodecError, errors.CompressionError)
+    assert issubclass(errors.TranslationFault, errors.PageTableError)
+
+
+def test_guest_panic_is_catchable_as_repro_error():
+    with pytest.raises(errors.ReproError):
+        raise errors.GuestPanic("relocation missed")
+
+
+def test_single_except_clause_covers_library(fc, tiny_nokaslr):
+    """The documented catch-all actually works for a real failure."""
+    from repro.core import RandomizeMode
+    from repro.monitor import VmConfig
+
+    cfg = VmConfig(kernel=tiny_nokaslr, randomize=RandomizeMode.KASLR)
+    try:
+        fc.boot(cfg)
+    except errors.ReproError as exc:
+        assert "not relocatable" in str(exc)
+    else:  # pragma: no cover
+        pytest.fail("expected a ReproError")

@@ -1,0 +1,55 @@
+"""Smoke tests: every shipped example must run end to end.
+
+Examples are imported and their module-level knobs shrunk (scale up,
+fleets down) so the whole set stays fast in the unit suite while still
+exercising the exact code paths users run.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name,overrides",
+    [
+        ("quickstart", {"SCALE": 64}),
+        ("serverless_fleet", {"SCALE": 64, "FLEET": 4}),
+        ("attack_surface", {"SCALE": 64, "N_GADGETS": 60}),
+        ("memory_density", {"SCALE": 64, "FLEET": 3}),
+        ("rerandomized_zygotes", {"SCALE": 64, "ACQUIRES": 4}),
+        ("kernel_modules", {"SCALE": 64}),
+    ],
+)
+def test_example_runs(name, overrides, capsys):
+    module = _load(name)
+    for attr, value in overrides.items():
+        assert hasattr(module, attr), f"{name} lost its {attr} knob"
+        setattr(module, attr, value)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} printed nothing"
+
+
+def test_examples_directory_complete():
+    """Every example on disk is covered by the smoke matrix above."""
+    on_disk = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+    covered = {
+        "quickstart", "serverless_fleet", "attack_surface",
+        "memory_density", "rerandomized_zygotes", "kernel_modules",
+    }
+    assert on_disk == covered

@@ -1,0 +1,75 @@
+"""Artifact-style experiment runners (Appendix A)."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+
+FAST = dict(boots=2, scale=64)
+
+
+def test_registry_complete():
+    assert set(EXPERIMENTS) == {"e1", "e2", "e3", "e4", "e5"}
+
+
+def test_unknown_experiment():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        run_experiment("e9")
+
+
+def test_e1_lz4_fastest():
+    result = run_experiment("e1", **FAST)
+    by_kernel = {}
+    for kernel, codec, mean, _min, _max in result.rows:
+        by_kernel.setdefault(kernel, {})[codec] = mean
+    for codecs in by_kernel.values():
+        assert min(codecs, key=codecs.get) == "lz4"
+
+
+def test_e2_cache_effects_rows():
+    result = run_experiment("e2", **FAST)
+    assert len(result.rows) == 6  # 3 kernels x {cold, warm}
+    winners = {(r[0], r[1]): r[4] for r in result.rows}
+    for kernel in ("lupine", "aws", "ubuntu"):
+        assert winners[(kernel, "cold")] == "bzImage"
+        assert winners[(kernel, "warm")] == "direct"
+    assert "E2" in result.table()
+
+
+def test_e3_ordering():
+    result = run_experiment("e3", **FAST)
+    by_kernel = {}
+    for kernel, method, ms in result.rows:
+        by_kernel.setdefault(kernel, {})[method] = ms
+    for methods in by_kernel.values():
+        assert (
+            methods["none"] > methods["lz4"] > methods["none-optimized"]
+            > methods["uncompressed"]
+        )
+
+
+def test_e4_in_monitor_wins():
+    result = run_experiment("e4", **FAST)
+    totals = {(r[0], r[1], r[2]): r[3] for r in result.rows}
+    for kernel in ("lupine", "aws", "ubuntu"):
+        for mode in ("kaslr", "fgkaslr"):
+            assert (
+                totals[(kernel, mode, "uncompressed")]
+                < totals[(kernel, mode, "compression-none")]
+                < totals[(kernel, mode, "lz4")]
+            )
+
+
+def test_e5_lebench_means():
+    result = run_experiment("e5", scale=64)
+    mean_row = result.rows[-1]
+    assert mean_row[0] == "== mean =="
+    assert float(mean_row[1]) == pytest.approx(1.0, abs=0.01)
+    assert 1.0 < float(mean_row[2]) < 1.2
+
+
+def test_cli_experiment(capsys):
+    from repro.cli import main
+
+    assert main(["experiment", "e2", "--boots", "1", "--scale", "64"]) == 0
+    out = capsys.readouterr().out
+    assert "cache effects" in out

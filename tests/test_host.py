@@ -1,0 +1,80 @@
+"""Host storage (page cache) and entropy pool."""
+
+import pytest
+
+from repro.errors import MonitorError
+from repro.host import HostEntropyPool, HostStorage
+from repro.simtime import SimClock, CostModel
+
+
+def _read(storage, name):
+    clock = SimClock()
+    storage.read(name, clock, CostModel(scale=1))
+    return clock.now_ns
+
+
+def test_cold_read_slower_then_warms_cache():
+    storage = HostStorage()
+    storage.put("k", bytes(8 * 1024 * 1024))
+    cold = _read(storage, "k")
+    warm = _read(storage, "k")
+    assert warm < cold / 5
+    assert storage.is_cached("k")
+
+
+def test_drop_caches_makes_reads_cold_again():
+    storage = HostStorage()
+    storage.put("k", bytes(1024 * 1024))
+    storage.warm("k")
+    storage.drop_caches()
+    assert not storage.is_cached("k")
+
+
+def test_put_replaces_and_evicts():
+    storage = HostStorage()
+    storage.put("k", b"v1")
+    storage.warm("k")
+    storage.put("k", b"v2")
+    assert not storage.is_cached("k")
+    assert storage.files["k"].data == b"v2"
+
+
+def test_missing_file_raises():
+    storage = HostStorage()
+    with pytest.raises(MonitorError, match="no such host file"):
+        storage.warm("ghost")
+    with pytest.raises(MonitorError):
+        storage.read("ghost", SimClock(), CostModel())
+
+
+def test_read_returns_exact_bytes():
+    storage = HostStorage()
+    storage.put("k", b"payload")
+    assert storage.read("k", SimClock(), CostModel()) == b"payload"
+
+
+def test_entropy_pool_deterministic():
+    a, b = HostEntropyPool(7), HostEntropyPool(7)
+    assert [a.draw_u64() for _ in range(5)] == [b.draw_u64() for _ in range(5)]
+
+
+def test_entropy_pool_tracks_draws():
+    pool = HostEntropyPool(1)
+    pool.draw_u64()
+    pool.randrange(100)
+    pool.shuffle_rng()
+    assert pool.draws == 3
+
+
+def test_entropy_reseed_restarts_stream():
+    pool = HostEntropyPool(1)
+    first = pool.draw_u64()
+    pool.reseed(1)
+    assert pool.draw_u64() == first
+
+
+def test_randrange_validates():
+    pool = HostEntropyPool(1)
+    with pytest.raises(ValueError):
+        pool.randrange(0)
+    assert 0 <= pool.randrange(10) < 10

@@ -1,0 +1,52 @@
+"""initrd loading via boot_params."""
+
+import pytest
+
+from repro.core import RandomizeMode
+from repro.errors import MonitorError
+from repro.kernel import layout as kl
+from repro.monitor import VmConfig
+from repro.vm.bootparams import BootParams
+
+
+def test_initrd_loaded_and_advertised(fc, tiny_kaslr):
+    initrd = b"\x1f\x8b" + bytes(range(256)) * 64  # gzip-ish blob
+    cfg = VmConfig(
+        kernel=tiny_kaslr, randomize=RandomizeMode.KASLR, seed=2, initrd=initrd
+    )
+    fc.warm_caches(cfg)
+    _report, vm = fc.boot_vm(cfg)
+    params = BootParams.unpack(vm.memory.read(kl.BOOT_PARAMS_ADDR, 4096))
+    assert params.initrd_size == len(initrd)
+    assert params.initrd_ptr % 0x1000 == 0
+    assert vm.memory.read(params.initrd_ptr, len(initrd)) == initrd
+
+
+def test_no_initrd_means_zero_fields(fc, tiny_kaslr):
+    cfg = VmConfig(kernel=tiny_kaslr, randomize=RandomizeMode.KASLR, seed=2)
+    fc.warm_caches(cfg)
+    _report, vm = fc.boot_vm(cfg)
+    params = BootParams.unpack(vm.memory.read(kl.BOOT_PARAMS_ADDR, 4096))
+    assert params.initrd_ptr == 0 and params.initrd_size == 0
+
+
+def test_oversized_initrd_rejected(fc, tiny_kaslr):
+    cfg = VmConfig(
+        kernel=tiny_kaslr, randomize=RandomizeMode.KASLR, mem_mib=32,
+        initrd=bytes(40 * 1024 * 1024),
+    )
+    with pytest.raises(MonitorError):
+        fc.boot(cfg)
+
+
+def test_initrd_survives_above_kernel(fc, tiny_kaslr):
+    """initrd must not overlap the loaded kernel image."""
+    initrd = bytes(64 * 1024)
+    cfg = VmConfig(
+        kernel=tiny_kaslr, randomize=RandomizeMode.KASLR, seed=2, initrd=initrd
+    )
+    fc.warm_caches(cfg)
+    report, vm = fc.boot_vm(cfg)
+    params = BootParams.unpack(vm.memory.read(kl.BOOT_PARAMS_ADDR, 4096))
+    kernel_end = report.layout.phys_load + report.layout.mem_bytes
+    assert params.initrd_ptr >= kernel_end

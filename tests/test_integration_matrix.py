@@ -1,0 +1,114 @@
+"""Integration: the full boot matrix the evaluation sweeps.
+
+Every (kernel variant x boot method) combination the paper measures must
+boot, verify, and land in the right relative cost order.
+"""
+
+import pytest
+
+from repro.artifacts import get_bzimage, get_kernel
+from repro.core import RandomizeMode
+from repro.kernel import AWS, KernelVariant
+from repro.monitor import BootFormat, Firecracker, VmConfig
+from repro.simtime import CostModel
+
+SCALE = 64  # fast integration-test scale
+
+
+@pytest.fixture(scope="module")
+def aws_kernels():
+    return {v: get_kernel(AWS, v, scale=SCALE) for v in KernelVariant}
+
+
+@pytest.fixture()
+def vmm(storage):
+    return Firecracker(storage, CostModel(scale=SCALE))
+
+
+_MATRIX = [
+    (KernelVariant.NOKASLR, RandomizeMode.NONE, None, False),
+    (KernelVariant.NOKASLR, RandomizeMode.NONE, "lz4", False),
+    (KernelVariant.NOKASLR, RandomizeMode.NONE, "none", True),
+    (KernelVariant.KASLR, RandomizeMode.KASLR, None, False),
+    (KernelVariant.KASLR, RandomizeMode.KASLR, "lz4", False),
+    (KernelVariant.KASLR, RandomizeMode.KASLR, "none", True),
+    (KernelVariant.FGKASLR, RandomizeMode.FGKASLR, None, False),
+    (KernelVariant.FGKASLR, RandomizeMode.FGKASLR, "lz4", False),
+    (KernelVariant.FGKASLR, RandomizeMode.FGKASLR, "none", True),
+]
+
+
+@pytest.mark.parametrize("variant,mode,codec,optimized", _MATRIX)
+def test_matrix_boots_and_verifies(vmm, aws_kernels, variant, mode, codec, optimized):
+    kernel = aws_kernels[variant]
+    if codec is None:
+        cfg = VmConfig(kernel=kernel, randomize=mode, seed=3)
+    else:
+        bz = get_bzimage(AWS, variant, codec, scale=SCALE, optimized=optimized)
+        cfg = VmConfig(
+            kernel=kernel, boot_format=BootFormat.BZIMAGE, bzimage=bz,
+            randomize=mode, seed=3,
+        )
+    vmm.warm_caches(cfg)
+    report = vmm.boot(cfg)
+    assert report.verification.functions_checked > 0
+    if mode is not RandomizeMode.NONE:
+        assert report.layout.voffset != 0
+
+
+def test_relative_order_of_methods(vmm, aws_kernels):
+    """Figure 9 shape: direct+in-monitor < none-optimized < lz4 bzImage."""
+    kernel = aws_kernels[KernelVariant.KASLR]
+
+    direct_cfg = VmConfig(kernel=kernel, randomize=RandomizeMode.KASLR, seed=4)
+    vmm.warm_caches(direct_cfg)
+    direct = vmm.boot(direct_cfg)
+
+    opt_bz = get_bzimage(AWS, KernelVariant.KASLR, "none", scale=SCALE, optimized=True)
+    opt_cfg = VmConfig(
+        kernel=kernel, boot_format=BootFormat.BZIMAGE, bzimage=opt_bz,
+        randomize=RandomizeMode.KASLR, seed=4,
+    )
+    vmm.warm_caches(opt_cfg)
+    optimized = vmm.boot(opt_cfg)
+
+    lz4_bz = get_bzimage(AWS, KernelVariant.KASLR, "lz4", scale=SCALE)
+    lz4_cfg = VmConfig(
+        kernel=kernel, boot_format=BootFormat.BZIMAGE, bzimage=lz4_bz,
+        randomize=RandomizeMode.KASLR, seed=4,
+    )
+    vmm.warm_caches(lz4_cfg)
+    lz4 = vmm.boot(lz4_cfg)
+
+    assert direct.total_ms < optimized.total_ms < lz4.total_ms
+
+
+def test_inmonitor_kaslr_overhead_small(vmm, aws_kernels):
+    """Section 5.2: in-monitor KASLR adds only a few percent."""
+    base_cfg = VmConfig(
+        kernel=aws_kernels[KernelVariant.NOKASLR], randomize=RandomizeMode.NONE, seed=4
+    )
+    kaslr_cfg = VmConfig(
+        kernel=aws_kernels[KernelVariant.KASLR], randomize=RandomizeMode.KASLR, seed=4
+    )
+    vmm.warm_caches(base_cfg)
+    vmm.warm_caches(kaslr_cfg)
+    base = vmm.boot(base_cfg)
+    kaslr = vmm.boot(kaslr_cfg)
+    overhead = kaslr.total_ms / base.total_ms - 1
+    assert 0 < overhead < 0.10
+
+
+def test_fgkaslr_multiplier_in_paper_range(vmm, aws_kernels):
+    base_cfg = VmConfig(
+        kernel=aws_kernels[KernelVariant.NOKASLR], randomize=RandomizeMode.NONE, seed=4
+    )
+    fg_cfg = VmConfig(
+        kernel=aws_kernels[KernelVariant.FGKASLR],
+        randomize=RandomizeMode.FGKASLR, seed=4,
+    )
+    vmm.warm_caches(base_cfg)
+    vmm.warm_caches(fg_cfg)
+    base = vmm.boot(base_cfg)
+    fg = vmm.boot(fg_cfg)
+    assert 1.5 < fg.total_ms / base.total_ms < 3.0  # paper: 1.84x - 2.33x

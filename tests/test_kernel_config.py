@@ -1,0 +1,66 @@
+"""Kernel configs, variants, and scaling."""
+
+import pytest
+
+from repro.errors import KernelBuildError
+from repro.kernel import AWS, LUPINE, PRESETS, TINY, UBUNTU, KernelConfig, KernelVariant
+
+
+def test_variant_capabilities():
+    assert not KernelVariant.NOKASLR.relocatable
+    assert KernelVariant.KASLR.relocatable
+    assert KernelVariant.FGKASLR.relocatable
+    assert KernelVariant.FGKASLR.function_sections
+    assert not KernelVariant.KASLR.function_sections
+
+
+def test_n_relocs_per_variant():
+    assert AWS.n_relocs(KernelVariant.NOKASLR) == 0
+    assert AWS.n_relocs(KernelVariant.KASLR) == AWS.n_relocs_kaslr
+    assert AWS.n_relocs(KernelVariant.FGKASLR) == AWS.n_relocs_fgkaslr
+    assert AWS.n_relocs_fgkaslr > AWS.n_relocs_kaslr
+
+
+def test_presets_ordering_matches_paper():
+    """Table 1: Lupine < AWS < Ubuntu in size and boot cost."""
+    assert LUPINE.text_bytes < AWS.text_bytes < UBUNTU.text_bytes
+    assert LUPINE.linux_boot_base_ms < AWS.linux_boot_base_ms < UBUNTU.linux_boot_base_ms
+    assert LUPINE.n_relocs_kaslr < AWS.n_relocs_kaslr < UBUNTU.n_relocs_kaslr
+
+
+def test_scaled_divides_sizes():
+    scaled = AWS.scaled(16)
+    assert scaled.text_bytes == AWS.text_bytes // 16
+    assert scaled.n_functions == AWS.n_functions // 16
+    assert scaled.name == AWS.name
+
+
+def test_scaled_identity_at_one():
+    assert AWS.scaled(1) is AWS
+
+
+def test_scaled_has_floors():
+    scaled = TINY.scaled(1000)
+    assert scaled.n_functions >= 16
+    assert scaled.n_relocs_kaslr >= 64
+
+
+def test_scaled_rejects_bad_scale():
+    with pytest.raises(KernelBuildError):
+        AWS.scaled(0)
+
+
+def test_validate_catches_nonsense():
+    bad = KernelConfig(
+        name="bad", description="", text_bytes=100, rodata_bytes=1,
+        data_bytes=1, bss_bytes=1, n_functions=100,
+        n_relocs_kaslr=1, n_relocs_fgkaslr=1, n_extable=1,
+    )
+    with pytest.raises(KernelBuildError):
+        bad.validate()
+
+
+def test_presets_registry():
+    assert set(PRESETS) == {"lupine", "aws", "ubuntu", "tiny"}
+    for preset in PRESETS.values():
+        preset.validate()

@@ -1,0 +1,80 @@
+"""kallsyms / exception table / ORC encodings."""
+
+import pytest
+
+from repro.errors import KernelBuildError
+from repro.kernel.tables import (
+    ExtableEntry,
+    KallsymsEntry,
+    decode_extable,
+    decode_kallsyms,
+    decode_orc_ip,
+    encode_extable,
+    encode_kallsyms,
+    encode_orc_data,
+    encode_orc_ip,
+    extable_is_sorted,
+    kallsyms_is_sorted,
+)
+
+
+def test_kallsyms_roundtrip_sorted():
+    entries = [
+        KallsymsEntry(0x500, "late_fn"),
+        KallsymsEntry(0x100, "early_fn"),
+        KallsymsEntry(0x300, "mid_fn"),
+    ]
+    back = decode_kallsyms(encode_kallsyms(entries))
+    assert [e.name for e in back] == ["early_fn", "mid_fn", "late_fn"]
+    assert kallsyms_is_sorted(back)
+
+
+def test_kallsyms_size_is_order_invariant():
+    a = [KallsymsEntry(1, "aa"), KallsymsEntry(2, "bbb")]
+    b = list(reversed(a))
+    assert len(encode_kallsyms(a)) == len(encode_kallsyms(b))
+
+
+def test_kallsyms_truncated_rejected():
+    with pytest.raises(KernelBuildError):
+        decode_kallsyms(b"\x01")
+    blob = encode_kallsyms([KallsymsEntry(0, "f")])
+    with pytest.raises(KernelBuildError):
+        decode_kallsyms(blob[:6])
+
+
+def test_kallsyms_empty():
+    assert decode_kallsyms(encode_kallsyms([])) == []
+
+
+def test_extable_roundtrip_sorted():
+    entries = [ExtableEntry(0x9000, 0x100), ExtableEntry(0x1000, 0x200)]
+    back = decode_extable(encode_extable(entries))
+    assert back[0].insn_vaddr == 0x1000
+    assert extable_is_sorted(back)
+
+
+def test_extable_bad_size_rejected():
+    with pytest.raises(KernelBuildError):
+        decode_extable(b"\x00" * 15)
+
+
+def test_extable_is_sorted_detects_disorder():
+    assert not extable_is_sorted([ExtableEntry(2, 0), ExtableEntry(1, 0)])
+    assert extable_is_sorted([])
+
+
+def test_orc_ip_roundtrip_sorted():
+    back = decode_orc_ip(encode_orc_ip([30, 10, 20]))
+    assert back == [10, 20, 30]
+
+
+def test_orc_ip_bad_size():
+    with pytest.raises(KernelBuildError):
+        decode_orc_ip(b"\x00" * 6)
+
+
+def test_orc_data_deterministic_and_sized():
+    assert encode_orc_data(10, seed=1) == encode_orc_data(10, seed=1)
+    assert encode_orc_data(10, seed=1) != encode_orc_data(10, seed=2)
+    assert len(encode_orc_data(10)) == 20

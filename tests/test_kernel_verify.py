@@ -1,0 +1,119 @@
+"""The verification oracle must catch injected randomization bugs."""
+
+import struct
+
+import pytest
+
+from repro.core import RandomizeMode
+from repro.errors import GuestPanic
+from repro.kernel import layout as kl
+from repro.kernel.verify import verify_guest_kernel
+
+from helpers import randomize_into_memory, walker_for
+
+
+def _booted(img, mode, seed=31, lazy=True):
+    layout, loaded, memory, _ = randomize_into_memory(
+        img, mode, seed=seed, lazy_kallsyms=lazy
+    )
+    walker = walker_for(memory, layout, loaded)
+    return layout, memory, walker
+
+
+def test_clean_boot_verifies(tiny_fgkaslr):
+    layout, memory, walker = _booted(tiny_fgkaslr, RandomizeMode.FGKASLR)
+    report = verify_guest_kernel(memory, walker, layout, tiny_fgkaslr.manifest)
+    assert report.sites_checked > 0
+    assert report.kallsyms_stale  # lazy mode
+
+
+def test_missed_relocation_detected(tiny_kaslr):
+    layout, memory, walker = _booted(tiny_kaslr, RandomizeMode.KASLR)
+    # Undo one relocation: subtract the offset back out of one ABS64 site.
+    site = next(
+        s for s in tiny_kaslr.manifest.reloc_sites
+        if s.reloc_type.value == "abs64" and not s.in_extable
+    )
+    paddr = layout.phys_load + layout.final_image_offset(site.link_offset)
+    memory.write_u64(paddr, memory.read_u64(paddr) - layout.voffset)
+    with pytest.raises(GuestPanic, match="relocation site"):
+        verify_guest_kernel(memory, walker, layout, tiny_kaslr.manifest)
+
+
+def test_double_applied_relocation_detected(tiny_kaslr):
+    layout, memory, walker = _booted(tiny_kaslr, RandomizeMode.KASLR)
+    site = next(
+        s for s in tiny_kaslr.manifest.reloc_sites
+        if s.reloc_type.value == "abs32" and not s.in_extable
+    )
+    paddr = layout.phys_load + layout.final_image_offset(site.link_offset)
+    memory.write_u32(paddr, (memory.read_u32(paddr) + layout.voffset) & 0xFFFFFFFF)
+    with pytest.raises(GuestPanic):
+        verify_guest_kernel(memory, walker, layout, tiny_kaslr.manifest)
+
+
+def test_corrupted_function_body_detected(tiny_fgkaslr):
+    layout, memory, walker = _booted(tiny_fgkaslr, RandomizeMode.FGKASLR)
+    func = tiny_fgkaslr.manifest.functions[7]
+    paddr = layout.final_paddr(func.link_vaddr)
+    memory.write(paddr + 8, b"\x00" * 8)  # clobber the identity tag
+    with pytest.raises(GuestPanic, match="identity tag"):
+        verify_guest_kernel(memory, walker, layout, tiny_fgkaslr.manifest)
+
+
+def test_lying_layout_detected(tiny_fgkaslr):
+    """A layout that misreports where a function went must not verify."""
+    layout, memory, walker = _booted(tiny_fgkaslr, RandomizeMode.FGKASLR)
+    # shift one moved-section delta by 16 bytes without moving any bytes
+    orig, size, delta = layout.moved[0]
+    layout.moved[0] = (orig, size, delta + 16)
+    layout.finalize()
+    with pytest.raises(GuestPanic):
+        verify_guest_kernel(memory, walker, layout, tiny_fgkaslr.manifest)
+
+
+def test_unsorted_extable_detected(tiny_fgkaslr):
+    layout, memory, walker = _booted(tiny_fgkaslr, RandomizeMode.FGKASLR)
+    vaddr, size = tiny_fgkaslr.manifest.sections["__ex_table"]
+    paddr = layout.phys_load + (vaddr - kl.LINK_VBASE)
+    first = memory.read(paddr, 16)
+    second = memory.read(paddr + 16, 16)
+    memory.write(paddr, second)
+    memory.write(paddr + 16, first)
+    with pytest.raises(GuestPanic, match="sorted|ground"):
+        verify_guest_kernel(memory, walker, layout, tiny_fgkaslr.manifest)
+
+
+def test_stale_kallsyms_detected_in_eager_mode(tiny_fgkaslr):
+    layout, memory, walker = _booted(tiny_fgkaslr, RandomizeMode.FGKASLR, lazy=False)
+    vaddr, _size = tiny_fgkaslr.manifest.sections[".kallsyms"]
+    paddr = layout.phys_load + (vaddr - kl.LINK_VBASE)
+    count = memory.read_u32(paddr)
+    # Corrupt the first entry's offset. The lowest-offset symbol is
+    # startup_64 at offset 0, so write a small nonzero value that keeps the
+    # table sorted but points the symbol somewhere wrong.
+    memory.write_u32(paddr + 4, 13)
+    assert count > 0
+    with pytest.raises(GuestPanic, match="kallsyms"):
+        verify_guest_kernel(memory, walker, layout, tiny_fgkaslr.manifest)
+
+
+def test_wrong_inv32_direction_detected(tiny_kaslr):
+    """Applying an inverse relocation with + instead of - must panic."""
+    layout, memory, walker = _booted(tiny_kaslr, RandomizeMode.KASLR)
+    site = next(
+        s for s in tiny_kaslr.manifest.reloc_sites if s.reloc_type.value == "inv32"
+    )
+    paddr = layout.phys_load + layout.final_image_offset(site.link_offset)
+    # correct value is v; wrong-direction application differs by 2*voffset
+    memory.write_u32(paddr, (memory.read_u32(paddr) + 2 * layout.voffset) & 0xFFFFFFFF)
+    with pytest.raises(GuestPanic):
+        verify_guest_kernel(memory, walker, layout, tiny_kaslr.manifest)
+
+
+def test_report_counts(tiny_kaslr):
+    layout, memory, walker = _booted(tiny_kaslr, RandomizeMode.KASLR)
+    report = verify_guest_kernel(memory, walker, layout, tiny_kaslr.manifest)
+    assert report.sites_checked == len(tiny_kaslr.manifest.reloc_sites)
+    assert report.extable_checked == tiny_kaslr.manifest.n_extable
+    assert report.entry_vaddr == kl.LINK_VBASE + layout.voffset

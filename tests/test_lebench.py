@@ -1,0 +1,100 @@
+"""LEBench cache/TLB mechanism and Figure 11 properties."""
+
+import pytest
+
+from repro.core import LayoutResult, RandomizeMode
+from repro.lebench import ICache, Itlb, LEBENCH_TESTS, run_lebench
+
+from helpers import randomize_into_memory
+
+
+def test_icache_geometry():
+    cache = ICache()
+    assert cache.n_sets == 64
+    with pytest.raises(ValueError):
+        ICache(size_bytes=1000, line_bytes=64, ways=8)
+
+
+def test_icache_hit_after_miss():
+    cache = ICache()
+    assert not cache.access_line(42)
+    assert cache.access_line(42)
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_icache_lru_eviction():
+    cache = ICache(size_bytes=2 * 64 * 2, line_bytes=64, ways=2)  # 2 sets, 2 ways
+    s = cache.n_sets
+    cache.access_line(0)
+    cache.access_line(s)      # same set, way 2
+    cache.access_line(2 * s)  # evicts line 0 (LRU)
+    assert not cache.access_line(0)
+
+
+def test_icache_range_counts_lines():
+    cache = ICache()
+    misses = cache.access_range(0x1000, 256)  # exactly 4 lines
+    assert misses == 4
+    assert cache.access_range(0x1000, 256) == 0
+
+
+def test_itlb_lru():
+    tlb = Itlb(entries=2, page_bytes=4096)
+    assert not tlb.access(0)
+    assert not tlb.access(4096)
+    assert tlb.access(100)  # page 0 still resident
+    assert not tlb.access(3 * 4096)  # evicts page 4096 (LRU)
+    assert not tlb.access(4096)
+
+
+def test_kaslr_layout_is_performance_neutral(tiny_nokaslr, tiny_kaslr):
+    """Figure 11: base KASLR is within noise of nokaslr (here: exactly 0)."""
+    base = run_lebench(tiny_nokaslr, LayoutResult().finalize())
+    layout, *_ = randomize_into_memory(tiny_kaslr, RandomizeMode.KASLR, seed=8)
+    kaslr = run_lebench(tiny_kaslr, layout)
+    assert kaslr.mean_normalized(base) == pytest.approx(1.0, abs=1e-9)
+
+
+def test_fgkaslr_layout_costs_a_few_percent():
+    """Scattering only bites once hot paths span a realistic text size, so
+    this uses a scaled AWS kernel rather than the tiny fixture (whose whole
+    text fits in one page and one cache footprint)."""
+    from repro.artifacts import get_kernel
+    from repro.kernel import AWS, KernelVariant
+
+    nok = get_kernel(AWS, KernelVariant.NOKASLR, scale=64)
+    fg_img = get_kernel(AWS, KernelVariant.FGKASLR, scale=64)
+    base = run_lebench(nok, LayoutResult().finalize())
+    layout, *_ = randomize_into_memory(fg_img, RandomizeMode.FGKASLR, seed=8)
+    fg = run_lebench(fg_img, layout)
+    mean = fg.mean_normalized(base)
+    assert 1.01 < mean < 1.25  # paper: ~7% average regression
+
+
+def test_fgkaslr_variation_is_per_workload(tiny_nokaslr, tiny_fgkaslr):
+    base = run_lebench(tiny_nokaslr, LayoutResult().finalize())
+    layout, *_ = randomize_into_memory(tiny_fgkaslr, RandomizeMode.FGKASLR, seed=8)
+    ratios = run_lebench(tiny_fgkaslr, layout).normalized_to(base)
+    assert len(set(round(v, 4) for v in ratios.values())) > 3
+
+
+def test_all_tests_run():
+    from repro.kernel import TINY, KernelVariant, build_kernel
+
+    img = build_kernel(TINY, KernelVariant.NOKASLR, scale=1, seed=3)
+    result = run_lebench(img, LayoutResult().finalize())
+    assert len(result.results) == len(LEBENCH_TESTS)
+    assert all(r.ns_per_iter > 0 for r in result.results)
+
+
+def test_subset_of_tests(tiny_nokaslr):
+    result = run_lebench(
+        tiny_nokaslr, LayoutResult().finalize(), tests=LEBENCH_TESTS[:3]
+    )
+    assert [r.name for r in result.results] == [t.name for t in LEBENCH_TESTS[:3]]
+
+
+def test_hot_set_start_deterministic():
+    test = LEBENCH_TESTS[0]
+    assert test.hot_set_start(1000) == test.hot_set_start(1000)
+    assert 0 <= test.hot_set_start(50) < 50

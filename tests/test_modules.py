@@ -1,0 +1,120 @@
+"""Kernel modules: build, randomized load, import resolution."""
+
+import pytest
+
+from repro.core import RandomizeMode
+from repro.errors import GuestPanic
+from repro.kernel.modules import (
+    MODULE_ALIGN,
+    MODULE_VADDR_BASE,
+    ModuleReloc,
+    build_module,
+    verify_loaded_module,
+)
+from repro.monitor import VmConfig
+
+
+@pytest.fixture()
+def vm(fc, tiny_fgkaslr):
+    cfg = VmConfig(
+        kernel=tiny_fgkaslr, randomize=RandomizeMode.FGKASLR, seed=23,
+        lazy_kallsyms=True,
+    )
+    fc.warm_caches(cfg)
+    _report, vm = fc.boot_vm(cfg)
+    return vm
+
+
+def test_build_module_deterministic(tiny_kaslr):
+    a = build_module("virtio_net", tiny_kaslr, seed=4)
+    b = build_module("virtio_net", tiny_kaslr, seed=4)
+    assert a.elf_bytes == b.elf_bytes
+    assert a.relocs == b.relocs
+    assert len(a.functions) == 6
+    assert a.imports
+
+
+def test_load_and_verify_module(vm, tiny_fgkaslr):
+    module = build_module("virtio_net", tiny_fgkaslr, seed=4)
+    loaded = vm.load_module(module, seed=99)
+    assert loaded.load_vaddr >= MODULE_VADDR_BASE
+    assert loaded.load_vaddr % MODULE_ALIGN == 0
+    checked = verify_loaded_module(vm, module, loaded)
+    assert checked == len(module.relocs)
+
+
+def test_module_imports_resolve_to_randomized_kernel(vm, tiny_fgkaslr):
+    module = build_module("ext4", tiny_fgkaslr, seed=5)
+    loaded = vm.load_module(module, seed=99)
+    for symbol, vaddr in loaded.resolved_imports.items():
+        func = tiny_fgkaslr.manifest.function(symbol)
+        assert vaddr == vm.layout.final_vaddr(func.link_vaddr)
+
+
+def test_loading_pays_deferred_kallsyms_fixup(vm, tiny_fgkaslr):
+    assert vm.kallsyms_stale
+    module = build_module("nf_tables", tiny_fgkaslr, seed=6)
+    vm.load_module(module, seed=99)
+    assert not vm.kallsyms_stale  # import resolution read kallsyms
+
+
+def test_module_base_randomized_across_seeds(fc, tiny_kaslr):
+    def boot_and_load(seed):
+        cfg = VmConfig(kernel=tiny_kaslr, randomize=RandomizeMode.KASLR, seed=3)
+        fc.warm_caches(cfg)
+        _r, vm = fc.boot_vm(cfg)
+        module = build_module("m", tiny_kaslr, seed=1)
+        return vm.load_module(module, seed=seed).load_vaddr
+
+    bases = {boot_and_load(seed) for seed in range(8)}
+    assert len(bases) > 4
+
+
+def test_module_offset_independent_of_kernel_offset(vm, tiny_fgkaslr):
+    """Leaking a module pointer must not disclose the kernel base."""
+    module = build_module("leaky", tiny_fgkaslr, seed=7)
+    loaded = vm.load_module(module, seed=42)
+    module_offset = loaded.load_vaddr - MODULE_VADDR_BASE
+    assert module_offset != vm.layout.voffset
+    assert vm.module_entropy_bits > 7
+
+
+def test_multiple_modules_do_not_overlap(vm, tiny_fgkaslr):
+    mods = [build_module(f"mod{i}", tiny_fgkaslr, seed=i) for i in range(3)]
+    loaded = [vm.load_module(m, seed=50) for m in mods]
+    spans = sorted((l.load_vaddr, l.load_vaddr + l.image_size) for l in loaded)
+    for (_, end), (start, _) in zip(spans, spans[1:]):
+        assert start >= end
+    for module, l in zip(mods, loaded):
+        verify_loaded_module(vm, module, l)
+
+
+def test_unresolved_import_panics(vm, tiny_fgkaslr):
+    module = build_module("bad", tiny_fgkaslr, seed=8)
+    module.relocs.append(ModuleReloc(image_offset=0x20, symbol="no_such_symbol"))
+    with pytest.raises(GuestPanic, match="unresolved import"):
+        vm.load_module(module, seed=1)
+
+
+def test_module_load_charges_time(vm, tiny_fgkaslr):
+    from repro.simtime import BootStep
+
+    module = build_module("timed", tiny_fgkaslr, seed=9)
+    before = vm.clock.now_ns
+    vm.load_module(module, seed=1)
+    assert vm.clock.now_ns > before
+    assert vm.clock.timeline.step_ns(BootStep.KERNEL_MODULE_LOAD) > 0
+
+
+def test_module_loads_after_snapshot_restore(fc, tiny_kaslr):
+    from repro.snapshot import SnapshotManager
+
+    cfg = VmConfig(kernel=tiny_kaslr, randomize=RandomizeMode.KASLR, seed=3)
+    fc.warm_caches(cfg)
+    _r, vm = fc.boot_vm(cfg)
+    manager = SnapshotManager(fc.costs)
+    snapshot = manager.capture(vm)
+    clone, _ = manager.restore_rebased(snapshot, seed=77)
+    module = build_module("post_restore", tiny_kaslr, seed=2)
+    loaded = clone.load_module(module, seed=5)
+    assert verify_loaded_module(clone, module, loaded) > 0

@@ -1,0 +1,77 @@
+"""BootReport accessors and artifact cache."""
+
+import pytest
+
+from repro.artifacts import clear_cache, get_bzimage, get_kernel
+from repro.core import RandomizeMode
+from repro.kernel import TINY, KernelVariant
+from repro.monitor import VmConfig
+from repro.simtime import BootCategory, BootStep
+
+
+@pytest.fixture()
+def report(fc, tiny_kaslr):
+    cfg = VmConfig(kernel=tiny_kaslr, randomize=RandomizeMode.KASLR, seed=7)
+    fc.warm_caches(cfg)
+    return fc.boot(cfg)
+
+
+def test_breakdown_covers_all_categories(report):
+    breakdown = report.breakdown_ms()
+    assert set(breakdown) == {c.value for c in BootCategory}
+
+
+def test_steps_ms_only_occurring_steps(report):
+    steps = report.steps_ms()
+    assert BootStep.MONITOR_STARTUP.value in steps
+    assert BootStep.LOADER_DECOMPRESS.value not in steps
+
+
+def test_convenience_properties_consistent(report):
+    assert report.in_monitor_ms == pytest.approx(
+        report.category_ms(BootCategory.IN_MONITOR)
+    )
+    assert report.bootstrap_loader_ms == pytest.approx(
+        report.bootstrap_setup_ms + report.decompression_ms
+    )
+
+
+def test_total_matches_timeline(report):
+    assert report.total_ms == pytest.approx(report.timeline.total_ns / 1e6)
+
+
+# -- artifact cache -------------------------------------------------------------
+
+
+def test_kernel_cache_returns_same_object():
+    a = get_kernel(TINY, KernelVariant.KASLR, scale=1, seed=50)
+    b = get_kernel(TINY, KernelVariant.KASLR, scale=1, seed=50)
+    assert a is b
+
+
+def test_kernel_cache_distinguishes_keys():
+    a = get_kernel(TINY, KernelVariant.KASLR, scale=1, seed=50)
+    b = get_kernel(TINY, KernelVariant.KASLR, scale=1, seed=51)
+    assert a is not b
+
+
+def test_bzimage_cache(tiny_kaslr):
+    a = get_bzimage(TINY, KernelVariant.KASLR, "lz4", scale=1, seed=3)
+    b = get_bzimage(TINY, KernelVariant.KASLR, "lz4", scale=1, seed=3)
+    assert a is b
+    c = get_bzimage(TINY, KernelVariant.KASLR, "none", scale=1, seed=3, optimized=True)
+    assert c is not a and c.header.optimized
+
+
+def test_cache_by_preset_name():
+    by_name = get_kernel("tiny", KernelVariant.NOKASLR, scale=1, seed=77)
+    by_config = get_kernel(TINY, KernelVariant.NOKASLR, scale=1, seed=77)
+    assert by_name is by_config
+
+
+def test_clear_cache():
+    a = get_kernel(TINY, KernelVariant.NOKASLR, scale=1, seed=78)
+    clear_cache()
+    b = get_kernel(TINY, KernelVariant.NOKASLR, scale=1, seed=78)
+    assert a is not b
+    assert a.vmlinux == b.vmlinux  # deterministic rebuild

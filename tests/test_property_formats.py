@@ -1,0 +1,112 @@
+"""Property-based tests for the binary formats and the software MMU."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.elf.notes import ElfNote, pack_notes, parse_notes
+from repro.kernel.tables import (
+    ExtableEntry,
+    KallsymsEntry,
+    decode_extable,
+    decode_kallsyms,
+    encode_extable,
+    encode_kallsyms,
+    extable_is_sorted,
+    kallsyms_is_sorted,
+)
+from repro.vm import BootParams, E820Entry, GuestMemory, PageTableBuilder
+from repro.vm.bootparams import E820_RAM, E820_RESERVED
+from repro.vm.pagetable import PAGE_2M, PageTableWalker
+
+MIB = 1024 * 1024
+
+_names = st.text(
+    alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz_0123456789"),
+    min_size=1,
+    max_size=24,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    entries=st.lists(
+        st.tuples(st.integers(0, 2**32 - 1), _names), max_size=30
+    )
+)
+def test_kallsyms_roundtrip_always_sorted(entries):
+    blob = encode_kallsyms([KallsymsEntry(o, n) for o, n in entries])
+    back = decode_kallsyms(blob)
+    assert kallsyms_is_sorted(back)
+    assert sorted((e.text_offset, e.name) for e in back) == sorted(entries)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    entries=st.lists(
+        st.tuples(st.integers(0, 2**63 - 1), st.integers(0, 2**63 - 1)),
+        max_size=30,
+    )
+)
+def test_extable_roundtrip_always_sorted(entries):
+    blob = encode_extable([ExtableEntry(i, f) for i, f in entries])
+    back = decode_extable(blob)
+    assert extable_is_sorted(back)
+    assert sorted((e.insn_vaddr, e.fixup_vaddr) for e in back) == sorted(entries)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    notes=st.lists(
+        st.tuples(
+            st.text(alphabet="ABCXYZ", min_size=1, max_size=8),
+            st.integers(0, 2**31),
+            st.binary(max_size=64),
+        ),
+        max_size=8,
+    )
+)
+def test_notes_roundtrip(notes):
+    packed = pack_notes([ElfNote(n, t, d) for n, t, d in notes])
+    back = parse_notes(packed)
+    assert [(n.name, n.note_type, n.desc) for n in back] == notes
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    e820=st.lists(
+        st.tuples(
+            st.integers(0, 2**40),
+            st.integers(0, 2**40),
+            st.sampled_from([E820_RAM, E820_RESERVED]),
+        ),
+        max_size=16,
+    ),
+    cmdline_ptr=st.integers(0, 2**32),
+    kaslr=st.integers(0, 2**30),
+)
+def test_boot_params_roundtrip(e820, cmdline_ptr, kaslr):
+    params = BootParams(cmdline_ptr=cmdline_ptr, kaslr_virt_offset=kaslr)
+    for addr, size, etype in e820:
+        params.add_e820(addr, size, etype)
+    back = BootParams.unpack(params.pack())
+    assert back.cmdline_ptr == cmdline_ptr
+    assert back.kaslr_virt_offset == kaslr
+    assert back.e820 == [E820Entry(a, s, t) for a, s, t in e820]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    slot=st.integers(0, 200),
+    pages=st.integers(1, 8),
+    probe=st.integers(0, 2**21 - 1),
+)
+def test_pagetable_mapping_property(slot, pages, probe):
+    """For any aligned 2 MiB mapping, translate(v) == p + (v - vbase)."""
+    memory = GuestMemory(64 * MIB)
+    builder = PageTableBuilder(memory, 0x9000)
+    vbase = 0xFFFFFFFF80000000 + slot * PAGE_2M
+    pbase = 0x1000000
+    builder.map_2m(vbase, pbase, pages * PAGE_2M)
+    walker = PageTableWalker(memory, builder.pml4)
+    for page in range(pages):
+        vaddr = vbase + page * PAGE_2M + probe
+        assert walker.translate(vaddr) == pbase + page * PAGE_2M + probe

@@ -1,0 +1,101 @@
+"""Property-based tests: randomization preserves kernel semantics.
+
+The central invariant of the whole paper: *any* seed, any mode, any
+principal — after randomization the guest kernel must still be correct
+(every pointer resolves, every table consistent).  Hypothesis drives the
+seed/mode space; the verification oracle is the property.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bootstrap import BootstrapLoader
+from repro.bzimage import build_bzimage
+from repro.core import RandomizeMode
+from repro.kernel import layout as kl
+from repro.kernel.verify import verify_guest_kernel
+from repro.simtime import CostModel, SimClock
+from repro.vm import GuestMemory
+
+from helpers import randomize_into_memory, walker_for
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@_SETTINGS
+@given(seed=st.integers(0, 2**32 - 1))
+def test_inmonitor_kaslr_always_verifies(tiny_kaslr, seed):
+    layout, loaded, memory, _ = randomize_into_memory(
+        tiny_kaslr, RandomizeMode.KASLR, seed=seed
+    )
+    walker = walker_for(memory, layout, loaded)
+    verify_guest_kernel(memory, walker, layout, tiny_kaslr.manifest)
+    assert layout.voffset % kl.KERNEL_ALIGN == 0
+
+
+@_SETTINGS
+@given(seed=st.integers(0, 2**32 - 1), lazy=st.booleans())
+def test_inmonitor_fgkaslr_always_verifies(tiny_fgkaslr, seed, lazy):
+    layout, loaded, memory, _ = randomize_into_memory(
+        tiny_fgkaslr, RandomizeMode.FGKASLR, seed=seed, lazy_kallsyms=lazy
+    )
+    walker = walker_for(memory, layout, loaded)
+    report = verify_guest_kernel(memory, walker, layout, tiny_fgkaslr.manifest)
+    assert report.kallsyms_stale == lazy
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(
+    seed=st.integers(0, 2**31),
+    codec=st.sampled_from(["none", "lz4", "gzip"]),
+)
+def test_self_randomization_always_verifies(tiny_fgkaslr, seed, codec):
+    bz = build_bzimage(tiny_fgkaslr, codec)
+    memory = GuestMemory(256 << 20)
+    layout, loaded = BootstrapLoader().run(
+        bz, memory, SimClock(), CostModel(scale=1), random.Random(seed),
+        RandomizeMode.FGKASLR, guest_ram_bytes=memory.size,
+    )
+    walker = walker_for(memory, layout, loaded)
+    verify_guest_kernel(memory, walker, layout, tiny_fgkaslr.manifest)
+
+
+@_SETTINGS
+@given(seed=st.integers(0, 2**32 - 1))
+def test_monitor_and_loader_entropy_equivalent(tiny_kaslr, seed):
+    """Same seed, same algorithm -> same offset under either principal.
+
+    This is the Section 4.3 equivalence claim made literal: the principals
+    share the offset-selection algorithm, so given the same randomness they
+    produce identical layouts.
+    """
+    layout_monitor, *_ = randomize_into_memory(
+        tiny_kaslr, RandomizeMode.KASLR, seed=seed
+    )
+    bz = build_bzimage(tiny_kaslr, "none", optimized=True)
+    memory = GuestMemory(256 << 20)
+    layout_loader, _ = BootstrapLoader().run(
+        bz, memory, SimClock(), CostModel(scale=1), random.Random(seed),
+        RandomizeMode.KASLR, guest_ram_bytes=memory.size,
+    )
+    assert layout_monitor.voffset == layout_loader.voffset
+
+
+@_SETTINGS
+@given(seed=st.integers(0, 2**32 - 1))
+def test_fgkaslr_moves_form_permutation(tiny_fgkaslr, seed):
+    layout, *_ = randomize_into_memory(
+        tiny_fgkaslr, RandomizeMode.FGKASLR, seed=seed
+    )
+    spans = sorted((o + d, o + d + s) for o, s, d in layout.moved)
+    for (_, end), (start, _) in zip(spans, spans[1:]):
+        assert start >= end  # never overlap
+    # total byte span preserved
+    assert sum(e - s for s, e in spans) == sum(s for _o, s, _d in layout.moved)

@@ -1,0 +1,57 @@
+"""Value-of-a-leak: base KASLR vs FGKASLR (Section 3.1)."""
+
+from repro.core import RandomizeMode
+from repro.security import GadgetCatalog, simulate_leak_attack
+from repro.security.attacks import expected_brute_force_guesses
+
+from helpers import randomize_into_memory
+
+
+def test_single_leak_breaks_base_kaslr(tiny_kaslr):
+    layout, *_ = randomize_into_memory(tiny_kaslr, RandomizeMode.KASLR, seed=4)
+    catalog = GadgetCatalog.from_kernel(tiny_kaslr, n_gadgets=150, seed=0)
+    result = simulate_leak_attack(tiny_kaslr, layout, catalog, n_leaks=1)
+    assert result.located_fraction == 1.0  # one leak -> whole kernel
+
+
+def test_single_leak_barely_helps_under_fgkaslr(tiny_fgkaslr):
+    layout, *_ = randomize_into_memory(tiny_fgkaslr, RandomizeMode.FGKASLR, seed=4)
+    catalog = GadgetCatalog.from_kernel(tiny_fgkaslr, n_gadgets=150, seed=0)
+    result = simulate_leak_attack(tiny_fgkaslr, layout, catalog, n_leaks=1)
+    assert result.located_fraction < 0.15
+
+
+def test_more_leaks_locate_more_gadgets(tiny_fgkaslr):
+    layout, *_ = randomize_into_memory(tiny_fgkaslr, RandomizeMode.FGKASLR, seed=4)
+    catalog = GadgetCatalog.from_kernel(tiny_fgkaslr, n_gadgets=150, seed=0)
+    few = simulate_leak_attack(tiny_fgkaslr, layout, catalog, n_leaks=2, seed=1)
+    many = simulate_leak_attack(tiny_fgkaslr, layout, catalog, n_leaks=40, seed=1)
+    assert many.located >= few.located
+    assert many.located_fraction < 1.0  # still not the whole kernel
+
+
+def test_catalog_deterministic(tiny_kaslr):
+    a = GadgetCatalog.from_kernel(tiny_kaslr, n_gadgets=50, seed=9)
+    b = GadgetCatalog.from_kernel(tiny_kaslr, n_gadgets=50, seed=9)
+    assert a.gadgets == b.gadgets
+
+
+def test_gadgets_live_inside_functions(tiny_kaslr):
+    catalog = GadgetCatalog.from_kernel(tiny_kaslr, n_gadgets=80, seed=2)
+    for gadget in catalog.gadgets:
+        func = tiny_kaslr.manifest.function(gadget.function)
+        assert func.link_vaddr <= gadget.link_vaddr < func.link_end
+
+
+def test_brute_force_guess_count():
+    assert expected_brute_force_guesses(9.0) == 256.0
+    assert expected_brute_force_guesses(1.0) == 1.0
+
+
+def test_leak_attack_reports_counts(tiny_kaslr):
+    layout, *_ = randomize_into_memory(tiny_kaslr, RandomizeMode.KASLR, seed=4)
+    catalog = GadgetCatalog.from_kernel(tiny_kaslr, n_gadgets=10, seed=0)
+    result = simulate_leak_attack(tiny_kaslr, layout, catalog, n_leaks=3)
+    assert result.n_leaks == 3
+    assert result.n_gadgets == 10
+    assert result.base_offset_known

@@ -1,0 +1,64 @@
+"""KSM page-merging density across VM fleets (Section 6)."""
+
+from repro.core import RandomizeMode
+from repro.security import merge_report
+
+from helpers import randomize_into_memory
+
+
+def _guest_memory(img, mode, seed):
+    _, _, memory, _ = randomize_into_memory(img, mode, seed=seed)
+    return memory
+
+
+def test_identical_seeds_merge_fully(tiny_fgkaslr):
+    mems = [_guest_memory(tiny_fgkaslr, RandomizeMode.FGKASLR, seed=5) for _ in range(3)]
+    report = merge_report(mems)
+    assert report.n_vms == 3
+    # all three layouts identical -> two of every page reclaimed
+    assert report.reclaimed_fraction > 0.6
+
+
+def test_distinct_seeds_merge_poorly(tiny_fgkaslr):
+    same = merge_report(
+        _guest_memory(tiny_fgkaslr, RandomizeMode.FGKASLR, seed=5) for _ in range(3)
+    )
+    diff = merge_report(
+        _guest_memory(tiny_fgkaslr, RandomizeMode.FGKASLR, seed=s) for s in range(3)
+    )
+    assert diff.reclaimed_nonzero_fraction < same.reclaimed_nonzero_fraction
+
+
+def test_fgkaslr_merges_worse_than_base_kaslr(tiny_kaslr, tiny_fgkaslr):
+    """Section 6: fine-grained randomization nullifies page sharing.
+
+    Base KASLR only diverges the pages that contain relocation sites
+    (different offsets produce different stored pointers); FGKASLR
+    additionally scrambles *every* text page, so distinct-seed fleets
+    merge strictly worse.
+    """
+    kaslr = merge_report(
+        _guest_memory(tiny_kaslr, RandomizeMode.KASLR, seed=s) for s in range(3)
+    )
+    fg = merge_report(
+        _guest_memory(tiny_fgkaslr, RandomizeMode.FGKASLR, seed=s) for s in range(3)
+    )
+    assert fg.reclaimed_nonzero_fraction < kaslr.reclaimed_nonzero_fraction
+
+
+def test_single_vm_has_limited_self_sharing(tiny_kaslr):
+    report = merge_report([_guest_memory(tiny_kaslr, RandomizeMode.KASLR, seed=1)])
+    assert report.n_vms == 1
+    assert 0 <= report.reclaimed_fraction < 1
+
+
+def test_zero_page_accounting(tiny_kaslr):
+    report = merge_report([_guest_memory(tiny_kaslr, RandomizeMode.KASLR, seed=1)])
+    assert report.zero_pages > 0
+    assert report.distinct_pages <= report.total_pages
+
+
+def test_empty_fleet():
+    report = merge_report([])
+    assert report.total_pages == 0
+    assert report.reclaimed_fraction == 0.0

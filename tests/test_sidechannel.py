@@ -1,0 +1,72 @@
+"""Prefetch side channel vs. KPTI (Section 3.1)."""
+
+import pytest
+
+from repro.core import RandomizeMode
+from repro.monitor import VmConfig
+from repro.security.sidechannel import attack_accuracy, prefetch_attack
+
+
+@pytest.fixture()
+def booted(fc, tiny_kaslr):
+    cfg = VmConfig(kernel=tiny_kaslr, randomize=RandomizeMode.KASLR, seed=61)
+    fc.warm_caches(cfg)
+    return fc.boot_vm(cfg)
+
+
+def test_prefetch_attack_recovers_offset(booted):
+    _report, vm = booted
+    probe = prefetch_attack(vm.walker, seed=1)
+    assert probe.broke_kaslr
+    assert probe.found_offset == vm.layout.voffset
+
+
+def test_kpti_defeats_the_attack(booted):
+    _report, vm = booted
+    probe = prefetch_attack(vm.walker, kpti=True, seed=1)
+    assert not probe.broke_kaslr
+    assert probe.kpti
+
+
+def test_attack_scans_whole_window(booted):
+    _report, vm = booted
+    probe = prefetch_attack(vm.walker, trials=2, seed=1)
+    assert probe.slots_scanned > 400  # ~504 candidate slots
+    assert probe.probes == probe.slots_scanned * 2
+
+
+def test_attack_is_reliable_across_campaigns(booted):
+    _report, vm = booted
+    assert attack_accuracy(vm.walker, vm.layout, kpti=False, campaigns=4) == 1.0
+    assert attack_accuracy(vm.walker, vm.layout, kpti=True, campaigns=4) == 0.0
+
+
+def test_heavy_noise_needs_more_trials(booted):
+    """With brutal timing noise, single-probe attacks misclassify slots."""
+    _report, vm = booted
+    hits_noisy = sum(
+        prefetch_attack(vm.walker, trials=1, noise=1.2, seed=s).found_offset
+        == vm.layout.voffset
+        for s in range(6)
+    )
+    hits_voted = sum(
+        prefetch_attack(vm.walker, trials=15, noise=1.2, seed=s).found_offset
+        == vm.layout.voffset
+        for s in range(6)
+    )
+    assert hits_voted >= hits_noisy
+
+
+def test_attack_against_rebased_clone_must_rescan(fc, tiny_kaslr):
+    """Re-randomization invalidates a previously recovered offset."""
+    from repro.snapshot import SnapshotManager
+
+    cfg = VmConfig(kernel=tiny_kaslr, randomize=RandomizeMode.KASLR, seed=61)
+    fc.warm_caches(cfg)
+    _r, vm = fc.boot_vm(cfg)
+    stolen = prefetch_attack(vm.walker, seed=3).found_offset
+    manager = SnapshotManager(fc.costs)
+    clone, _ = manager.restore_rebased(manager.capture(vm), seed=1234)
+    assert clone.layout.voffset != stolen
+    fresh = prefetch_attack(clone.walker, seed=3)
+    assert fresh.found_offset == clone.layout.voffset

@@ -1,0 +1,45 @@
+"""SimClock semantics."""
+
+import pytest
+
+from repro.simtime import BootCategory, BootStep, SimClock
+
+
+def test_clock_advances_and_records():
+    clock = SimClock()
+    clock.charge(1500, BootCategory.IN_MONITOR, BootStep.MONITOR_STARTUP)
+    assert clock.now_ns == 1500
+    assert len(clock.timeline) == 1
+
+
+def test_clock_rounds_fractional_ns():
+    clock = SimClock()
+    clock.charge(10.6, BootCategory.IN_MONITOR, BootStep.MONITOR_STARTUP)
+    assert clock.now_ns == 11
+
+
+def test_negative_charge_rejected():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        clock.charge(-1, BootCategory.IN_MONITOR, BootStep.MONITOR_STARTUP)
+
+
+def test_elapsed_ms():
+    clock = SimClock()
+    clock.charge(2_500_000, BootCategory.LINUX_BOOT, BootStep.KERNEL_INIT)
+    assert clock.elapsed_ms() == pytest.approx(2.5)
+    assert clock.now_ms == pytest.approx(2.5)
+
+
+def test_start_offset():
+    clock = SimClock(start_ns=100)
+    clock.charge(10, BootCategory.IN_MONITOR, BootStep.MONITOR_STARTUP)
+    assert clock.now_ns == 110
+    assert clock.timeline.events[0].start_ns == 100
+
+
+def test_zero_duration_allowed():
+    clock = SimClock()
+    event = clock.charge(0, BootCategory.LINUX_BOOT, BootStep.KERNEL_RUN_INIT)
+    assert event.duration_ns == 0
+    assert clock.now_ns == 0

@@ -1,0 +1,63 @@
+"""Timeline/trace-event behaviour."""
+
+import pytest
+
+from repro.simtime.trace import BootCategory, BootStep, Timeline, TraceEvent
+
+
+def _event(start, dur, category=BootCategory.IN_MONITOR, step=BootStep.MONITOR_STARTUP):
+    return TraceEvent(start_ns=start, duration_ns=dur, category=category, step=step)
+
+
+def test_append_and_totals():
+    tl = Timeline()
+    tl.append(_event(0, 100))
+    tl.append(_event(100, 50, BootCategory.LINUX_BOOT, BootStep.KERNEL_INIT))
+    assert tl.total_ns == 150
+    assert len(tl) == 2
+
+
+def test_category_totals_cover_all_categories():
+    tl = Timeline()
+    tl.append(_event(0, 10))
+    totals = tl.category_totals_ns()
+    assert set(totals) == set(BootCategory)
+    assert totals[BootCategory.IN_MONITOR] == 10
+    assert totals[BootCategory.DECOMPRESSION] == 0
+
+
+def test_out_of_order_append_rejected():
+    tl = Timeline()
+    tl.append(_event(0, 100))
+    with pytest.raises(ValueError):
+        tl.append(_event(50, 10))
+
+
+def test_step_totals_only_used_steps():
+    tl = Timeline()
+    tl.append(_event(0, 7))
+    tl.append(_event(7, 3))
+    totals = tl.step_totals_ns()
+    assert totals == {BootStep.MONITOR_STARTUP: 10}
+
+
+def test_event_end_ns():
+    event = _event(5, 10)
+    assert event.end_ns == 15
+
+
+def test_filtered_keeps_only_requested_steps():
+    tl = Timeline()
+    tl.append(_event(0, 1, step=BootStep.MONITOR_STARTUP))
+    tl.append(_event(1, 2, step=BootStep.LOADER_DECOMPRESS))
+    picked = tl.filtered([BootStep.LOADER_DECOMPRESS])
+    assert len(picked) == 1
+    assert picked.events[0].duration_ns == 2
+
+
+def test_category_ns_and_step_ns():
+    tl = Timeline()
+    tl.append(_event(0, 4))
+    tl.append(_event(4, 6, BootCategory.LINUX_BOOT, BootStep.KERNEL_INIT))
+    assert tl.category_ns(BootCategory.LINUX_BOOT) == 6
+    assert tl.step_ns(BootStep.MONITOR_STARTUP) == 4

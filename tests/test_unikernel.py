@@ -1,0 +1,78 @@
+"""Unikernel guests on a ukvm-style monitor (Section 6)."""
+
+import pytest
+
+from repro.bzimage import build_bzimage
+from repro.core import RandomizeMode
+from repro.errors import MonitorError
+from repro.host import HostStorage
+from repro.kernel import KernelVariant
+from repro.monitor import BootFormat, VmConfig
+from repro.simtime import CostModel
+from repro.unikernel import UnikernelMonitor, build_unikernel
+
+
+@pytest.fixture(scope="module")
+def uni_fg():
+    return build_unikernel("httpd", KernelVariant.FGKASLR, scale=16, seed=2)
+
+
+@pytest.fixture()
+def ukvm():
+    return UnikernelMonitor(HostStorage(), CostModel(scale=16))
+
+
+def test_unikernel_builds_and_is_named(uni_fg):
+    assert uni_fg.name == "uni-httpd-fgkaslr"
+    assert len(uni_fg.elf.function_sections()) > 0
+
+
+def test_whole_system_aslr_boot_verifies(ukvm, uni_fg):
+    cfg = VmConfig(kernel=uni_fg, randomize=RandomizeMode.FGKASLR, seed=3)
+    ukvm.warm_caches(cfg)
+    report = ukvm.boot(cfg)
+    assert report.vmm_name == "ukvm"
+    assert report.layout.fine_grained
+    assert report.verification.functions_checked > 0
+
+
+def test_unikernel_boots_in_milliseconds(ukvm, uni_fg):
+    """Paper context: unikernels boot an order of magnitude below microVMs."""
+    cfg = VmConfig(kernel=uni_fg, randomize=RandomizeMode.NONE, seed=3)
+    ukvm.warm_caches(cfg)
+    report = ukvm.boot(cfg)
+    assert report.total_ms < 10.0
+
+
+def test_inmonitor_aslr_overhead_small_for_unikernels(ukvm):
+    none_img = build_unikernel("db", KernelVariant.NOKASLR, scale=16, seed=2)
+    kaslr_img = build_unikernel("db", KernelVariant.KASLR, scale=16, seed=2)
+    base_cfg = VmConfig(kernel=none_img, randomize=RandomizeMode.NONE, seed=3)
+    rand_cfg = VmConfig(kernel=kaslr_img, randomize=RandomizeMode.KASLR, seed=3)
+    ukvm.warm_caches(base_cfg)
+    ukvm.warm_caches(rand_cfg)
+    base = ukvm.boot(base_cfg)
+    rand = ukvm.boot(rand_cfg)
+    assert rand.total_ms < base.total_ms * 1.25
+    assert rand.layout.voffset != 0
+
+
+def test_bzimage_rejected(ukvm):
+    img = build_unikernel("x", KernelVariant.KASLR, scale=16, seed=2)
+    bz = build_bzimage(img, "none")
+    cfg = VmConfig(
+        kernel=img, boot_format=BootFormat.BZIMAGE, bzimage=bz,
+        randomize=RandomizeMode.KASLR,
+    )
+    with pytest.raises(MonitorError, match="no bootstrap loader"):
+        ukvm.boot(cfg)
+
+
+def test_ukvm_faster_than_firecracker(ukvm, uni_fg):
+    from repro.monitor import Firecracker
+
+    fc = Firecracker(HostStorage(), CostModel(scale=16))
+    cfg = VmConfig(kernel=uni_fg, randomize=RandomizeMode.FGKASLR, seed=3)
+    ukvm.warm_caches(cfg)
+    fc.warm_caches(cfg)
+    assert ukvm.boot(cfg).total_ms < fc.boot(cfg).total_ms

@@ -1,0 +1,56 @@
+"""boot_params (zero page) packing."""
+
+import pytest
+
+from repro.errors import BootProtocolError
+from repro.vm import BootParams, E820_RAM, E820_RESERVED
+from repro.vm.bootparams import BP_FLAG_IN_MONITOR_KASLR
+
+
+def test_roundtrip():
+    params = BootParams(cmdline_ptr=0x20000, initrd_ptr=0x800000, initrd_size=4096)
+    params.add_e820(0, 256 << 20)
+    params.add_e820(0xF0000, 0x10000, E820_RESERVED)
+    back = BootParams.unpack(params.pack())
+    assert back.cmdline_ptr == 0x20000
+    assert back.initrd_ptr == 0x800000
+    assert len(back.e820) == 2
+    assert back.e820[1].entry_type == E820_RESERVED
+
+
+def test_pack_is_exactly_one_page():
+    assert len(BootParams().pack()) == 4096
+
+
+def test_total_ram_counts_only_ram():
+    params = BootParams()
+    params.add_e820(0, 100, E820_RAM)
+    params.add_e820(200, 50, E820_RESERVED)
+    assert params.total_ram() == 100
+
+
+def test_bad_magic_rejected():
+    page = bytearray(BootParams().pack())
+    page[0] ^= 0xFF
+    with pytest.raises(BootProtocolError, match="magic"):
+        BootParams.unpack(bytes(page))
+
+
+def test_truncated_rejected():
+    with pytest.raises(BootProtocolError):
+        BootParams.unpack(b"\x00" * 8)
+
+
+def test_e820_overflow_rejected():
+    params = BootParams()
+    for i in range(32):
+        params.add_e820(i * 4096, 4096)
+    with pytest.raises(BootProtocolError, match="full"):
+        params.add_e820(0, 1)
+
+
+def test_in_monitor_kaslr_flag_roundtrips():
+    params = BootParams(flags=BP_FLAG_IN_MONITOR_KASLR, kaslr_virt_offset=0x2000000)
+    back = BootParams.unpack(params.pack())
+    assert back.flags & BP_FLAG_IN_MONITOR_KASLR
+    assert back.kaslr_virt_offset == 0x2000000

@@ -1,0 +1,55 @@
+"""vCPU state and boot-protocol contract checks."""
+
+from repro.vm import CpuMode, VcpuState
+
+
+def test_default_state_is_real_mode():
+    vcpu = VcpuState()
+    assert vcpu.mode is CpuMode.REAL
+    assert not vcpu.long_mode_active
+    assert vcpu.rflags & 0x2  # reserved bit always set
+
+
+def test_setup_long_mode_sets_control_bits():
+    vcpu = VcpuState()
+    vcpu.setup_long_mode(cr3=0x9000)
+    assert vcpu.mode is CpuMode.LONG
+    assert vcpu.long_mode_active
+    assert vcpu.cr3 == 0x9000
+    assert vcpu.cr4 & VcpuState.CR4_PAE
+    assert vcpu.efer & VcpuState.EFER_LME
+    assert vcpu.cr0 & VcpuState.CR0_PG
+
+
+def test_setup_protected_mode():
+    vcpu = VcpuState()
+    vcpu.setup_protected_mode()
+    assert vcpu.mode is CpuMode.PROTECTED
+    assert vcpu.cr0 & VcpuState.CR0_PE
+    assert not vcpu.cr0 & VcpuState.CR0_PG
+
+
+def test_linux64_contract_catches_all_violations():
+    vcpu = VcpuState()
+    problems = vcpu.validate_linux64_entry()
+    assert any("long mode" in p for p in problems)
+    assert any("CR3" in p for p in problems)
+    assert any("RSI" in p for p in problems)
+    assert any("RIP" in p for p in problems)
+
+
+def test_linux64_contract_passes_when_satisfied():
+    vcpu = VcpuState()
+    vcpu.setup_long_mode(cr3=0x9000)
+    vcpu.rsi = 0x7000
+    vcpu.rip = 0xFFFFFFFF81000000
+    assert vcpu.validate_linux64_entry() == []
+
+
+def test_interrupts_must_be_disabled():
+    vcpu = VcpuState()
+    vcpu.setup_long_mode(cr3=0x9000)
+    vcpu.rsi = 0x7000
+    vcpu.rip = 0xFFFFFFFF81000000
+    vcpu.interrupts_enabled = True
+    assert any("interrupts" in p for p in vcpu.validate_linux64_entry())

@@ -1,0 +1,83 @@
+"""MicroVm guest-runtime handle, incl. deferred kallsyms first-read."""
+
+import pytest
+
+from repro.core import RandomizeMode
+from repro.kernel import layout as kl
+from repro.kernel.tables import kallsyms_is_sorted
+from repro.monitor import VmConfig
+from repro.simtime import BootStep
+
+
+def _boot_vm(fc, img, mode, lazy=True, seed=19):
+    cfg = VmConfig(kernel=img, randomize=mode, seed=seed, lazy_kallsyms=lazy)
+    fc.warm_caches(cfg)
+    return fc.boot_vm(cfg)
+
+
+def test_boot_vm_returns_consistent_pair(fc, tiny_kaslr):
+    report, vm = _boot_vm(fc, tiny_kaslr, RandomizeMode.KASLR)
+    assert vm.layout.voffset == report.layout.voffset
+    assert vm.clock.elapsed_ms() == report.total_ms
+
+
+def test_read_cmdline(fc, tiny_kaslr):
+    _report, vm = _boot_vm(fc, tiny_kaslr, RandomizeMode.KASLR)
+    assert vm.read_cmdline() == tiny_kaslr.config.cmdline
+
+
+def test_read_virt_through_live_page_tables(fc, tiny_kaslr):
+    from repro.kernel.manifest import FUNCTION_PROLOGUE
+
+    _report, vm = _boot_vm(fc, tiny_kaslr, RandomizeMode.KASLR)
+    assert vm.read_virt(vm.layout.entry_vaddr, 8) == FUNCTION_PROLOGUE
+
+
+def test_lazy_kallsyms_first_read_pays_fixup(fc, tiny_fgkaslr):
+    _report, vm = _boot_vm(fc, tiny_fgkaslr, RandomizeMode.FGKASLR, lazy=True)
+    assert vm.kallsyms_stale
+    before = vm.clock.now_ns
+    entries = vm.read_kallsyms()
+    assert vm.clock.now_ns > before
+    assert not vm.kallsyms_stale
+    assert kallsyms_is_sorted(entries)
+    assert vm.clock.timeline.step_ns(BootStep.KERNEL_KALLSYMS_FIXUP) > 0
+
+
+def test_second_kallsyms_read_is_free(fc, tiny_fgkaslr):
+    _report, vm = _boot_vm(fc, tiny_fgkaslr, RandomizeMode.FGKASLR, lazy=True)
+    vm.read_kallsyms()
+    after_first = vm.clock.now_ns
+    vm.read_kallsyms()
+    assert vm.clock.now_ns == after_first
+
+
+def test_eager_boot_needs_no_runtime_fixup(fc, tiny_fgkaslr):
+    _report, vm = _boot_vm(fc, tiny_fgkaslr, RandomizeMode.FGKASLR, lazy=False)
+    before = vm.clock.now_ns
+    entries = vm.read_kallsyms()
+    assert vm.clock.now_ns == before
+    assert kallsyms_is_sorted(entries)
+
+
+def test_kallsyms_lookup_resolves_final_address(fc, tiny_fgkaslr):
+    _report, vm = _boot_vm(fc, tiny_fgkaslr, RandomizeMode.FGKASLR)
+    func = tiny_fgkaslr.manifest.functions[11]
+    assert vm.kallsyms_lookup(func.name) == vm.layout.final_vaddr(func.link_vaddr)
+    with pytest.raises(KeyError):
+        vm.kallsyms_lookup("not_a_symbol")
+
+
+def test_lazy_lookup_correct_after_deferred_fixup(fc, tiny_fgkaslr):
+    """The stale table would give wrong addresses; first read must fix it."""
+    _report, vm = _boot_vm(fc, tiny_fgkaslr, RandomizeMode.FGKASLR, lazy=True)
+    moved = next(
+        f for f in tiny_fgkaslr.manifest.functions
+        if vm.layout.displacement_for(f.link_vaddr) != 0
+    )
+    assert vm.kallsyms_lookup(moved.name) == vm.layout.final_vaddr(moved.link_vaddr)
+
+
+def test_resident_mib(fc, tiny_kaslr):
+    _report, vm = _boot_vm(fc, tiny_kaslr, RandomizeMode.KASLR)
+    assert 0 < vm.resident_mib < 64

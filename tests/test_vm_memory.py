@@ -1,0 +1,122 @@
+"""Sparse guest memory semantics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GuestMemoryError
+from repro.vm import GuestMemory
+
+MIB = 1024 * 1024
+
+
+def test_untouched_memory_reads_zero():
+    mem = GuestMemory(4 * MIB)
+    assert mem.read(123456, 64) == bytes(64)
+
+
+def test_write_read_roundtrip():
+    mem = GuestMemory(4 * MIB)
+    mem.write(0x1000, b"hello world")
+    assert mem.read(0x1000, 11) == b"hello world"
+
+
+def test_write_spanning_chunks():
+    mem = GuestMemory(4 * MIB)
+    payload = bytes(range(256)) * 4096  # 1 MiB, crosses 256 KiB chunks
+    mem.write(100_000, payload)
+    assert mem.read(100_000, len(payload)) == payload
+
+
+def test_out_of_bounds_rejected():
+    mem = GuestMemory(MIB)
+    with pytest.raises(GuestMemoryError):
+        mem.read(MIB - 4, 8)
+    with pytest.raises(GuestMemoryError):
+        mem.write(MIB, b"x")
+    with pytest.raises(GuestMemoryError):
+        mem.read(-1, 4)
+
+
+def test_zero_size_memory_rejected():
+    with pytest.raises(GuestMemoryError):
+        GuestMemory(0)
+
+
+def test_typed_access():
+    mem = GuestMemory(MIB)
+    mem.write_u64(0x100, 0xFFFFFFFF81000000)
+    assert mem.read_u64(0x100) == 0xFFFFFFFF81000000
+    mem.write_u32(0x200, 0xDEADBEEF)
+    assert mem.read_u32(0x200) == 0xDEADBEEF
+    mem.write_u16(0x300, 0x1234)
+    assert mem.read_u16(0x300) == 0x1234
+
+
+def test_typed_access_masks_overflow():
+    mem = GuestMemory(MIB)
+    mem.write_u32(0, 0x1_0000_0001)
+    assert mem.read_u32(0) == 1
+
+
+def test_fill_zero_and_value():
+    mem = GuestMemory(MIB)
+    mem.write(0x500, b"\xff" * 64)
+    mem.fill(0x500, 32, 0)
+    assert mem.read(0x500, 64) == bytes(32) + b"\xff" * 32
+    mem.fill(0x600, 16, 0xAB)
+    assert mem.read(0x600, 16) == b"\xab" * 16
+
+
+def test_move_overlapping():
+    mem = GuestMemory(MIB)
+    mem.write(0, bytes(range(100)))
+    mem.move(10, 0, 100)
+    assert mem.read(10, 100) == bytes(range(100))
+
+
+def test_resident_bytes_tracks_materialization():
+    mem = GuestMemory(1024 * MIB)
+    assert mem.resident_bytes == 0
+    mem.write(512 * MIB, b"x")
+    assert 0 < mem.resident_bytes <= MIB
+
+
+def test_sparse_large_guest_is_cheap():
+    mem = GuestMemory(8 * 1024 * MIB)  # 8 GiB address space
+    mem.write(7 * 1024 * MIB, b"top")
+    assert mem.read(7 * 1024 * MIB, 3) == b"top"
+    assert mem.resident_bytes < MIB
+
+
+def test_iter_resident_pages():
+    mem = GuestMemory(4 * MIB)
+    mem.write(0x42, b"data")
+    pages = dict(mem.iter_resident_pages(4096))
+    assert 0 in pages
+    assert pages[0][0x42:0x46] == b"data"
+
+
+def test_iter_resident_pages_bad_size():
+    mem = GuestMemory(MIB)
+    with pytest.raises(GuestMemoryError):
+        list(mem.iter_resident_pages(3000))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    writes=st.lists(
+        st.tuples(st.integers(0, MIB - 256), st.binary(min_size=1, max_size=256)),
+        max_size=16,
+    )
+)
+def test_matches_flat_bytearray_model(writes):
+    """Sparse memory must behave exactly like one big bytearray."""
+    mem = GuestMemory(MIB)
+    model = bytearray(MIB)
+    for addr, data in writes:
+        mem.write(addr, data)
+        model[addr : addr + len(data)] = data
+    for addr, data in writes:
+        lo = max(0, addr - 32)
+        hi = min(MIB, addr + len(data) + 32)
+        assert mem.read(lo, hi - lo) == bytes(model[lo:hi])

@@ -1,0 +1,107 @@
+"""Copy-on-write guest-memory semantics."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.vm import GuestMemory
+
+MIB = 1024 * 1024
+
+
+def test_clone_sees_parent_contents():
+    parent = GuestMemory(4 * MIB)
+    parent.write(0x1000, b"zygote state")
+    child = parent.clone_cow()
+    assert child.read(0x1000, 12) == b"zygote state"
+
+
+def test_child_write_does_not_touch_parent():
+    parent = GuestMemory(4 * MIB)
+    parent.write(0x1000, b"original")
+    child = parent.clone_cow()
+    child.write(0x1000, b"modified")
+    assert parent.read(0x1000, 8) == b"original"
+    assert child.read(0x1000, 8) == b"modified"
+
+
+def test_parent_write_after_freeze_invisible_to_child():
+    parent = GuestMemory(4 * MIB)
+    parent.write(0x1000, b"before")
+    child = parent.clone_cow()
+    parent.write(0x1000, b"after!")
+    assert child.read(0x1000, 6) == b"before"
+
+
+def test_siblings_are_independent():
+    parent = GuestMemory(4 * MIB)
+    parent.write(0, b"shared")
+    a = parent.clone_cow()
+    b = parent.clone_cow()
+    a.write(0, b"AAAAAA")
+    assert b.read(0, 6) == b"shared"
+
+
+def test_private_bytes_tracks_cow_materialization():
+    parent = GuestMemory(16 * MIB)
+    parent.write(0, bytes(2 * MIB))
+    child = parent.clone_cow()
+    assert child.private_bytes == 0
+    child.write(0x10, b"x")
+    assert child.private_bytes > 0
+    assert child.resident_bytes >= parent.resident_bytes
+
+
+def test_fill_zero_materializes_base_chunks():
+    parent = GuestMemory(4 * MIB)
+    parent.write(0x100, b"\xff" * 64)
+    child = parent.clone_cow()
+    child.fill(0x100, 64, 0)
+    assert child.read(0x100, 64) == bytes(64)
+    assert parent.read(0x100, 64) == b"\xff" * 64
+
+
+def test_iter_resident_pages_covers_base_and_private():
+    parent = GuestMemory(4 * MIB)
+    parent.write(0, b"base")
+    child = parent.clone_cow()
+    child.write(512 * 1024, b"priv")
+    pages = dict(child.iter_resident_pages(4096))
+    assert pages[0][:4] == b"base"
+    assert pages[512 * 1024][:4] == b"priv"
+
+
+def test_freeze_snapshot_is_immutable_copy():
+    mem = GuestMemory(MIB)
+    mem.write(0, b"v1")
+    frozen = mem.freeze()
+    mem.write(0, b"v2")
+    assert frozen[0][:2] == b"v1"
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    parent_writes=st.lists(
+        st.tuples(st.integers(0, MIB - 64), st.binary(min_size=1, max_size=64)),
+        max_size=8,
+    ),
+    child_writes=st.lists(
+        st.tuples(st.integers(0, MIB - 64), st.binary(min_size=1, max_size=64)),
+        max_size=8,
+    ),
+)
+def test_cow_matches_deep_copy_model(parent_writes, child_writes):
+    """CoW child must be indistinguishable from a deep copy of the parent."""
+    parent = GuestMemory(MIB)
+    model = bytearray(MIB)
+    for addr, data in parent_writes:
+        parent.write(addr, data)
+        model[addr : addr + len(data)] = data
+    child = parent.clone_cow()
+    parent_model = bytes(model)
+    for addr, data in child_writes:
+        child.write(addr, data)
+        model[addr : addr + len(data)] = data
+    # child equals the model; parent unchanged
+    for addr, data in child_writes + parent_writes:
+        lo, hi = max(0, addr - 16), min(MIB, addr + len(data) + 16)
+        assert child.read(lo, hi - lo) == bytes(model[lo:hi])
+        assert parent.read(lo, hi - lo) == parent_model[lo:hi]

@@ -1,0 +1,49 @@
+"""Port-I/O bus tracepoints."""
+
+import pytest
+
+from repro.simtime import BootCategory, BootStep, SimClock
+from repro.vm import PortIoBus
+from repro.vm.portio import MILESTONE_KERNEL_ENTRY, TRACE_PORT
+
+
+def test_writes_logged_with_simulated_time():
+    clock = SimClock()
+    bus = PortIoBus(clock)
+    bus.write(TRACE_PORT, 1)
+    clock.charge(500, BootCategory.IN_MONITOR, BootStep.MONITOR_STARTUP)
+    bus.write(TRACE_PORT, 2)
+    assert [w.timestamp_ns for w in bus.log] == [0, 500]
+
+
+def test_milestones_filters_trace_port():
+    bus = PortIoBus(SimClock())
+    bus.write(0x80, 7)  # unrelated port
+    bus.write(TRACE_PORT, MILESTONE_KERNEL_ENTRY)
+    assert len(bus.milestones()) == 1
+    assert bus.milestones()[0].value == MILESTONE_KERNEL_ENTRY
+
+
+def test_milestone_ns_lookup():
+    clock = SimClock()
+    bus = PortIoBus(clock)
+    clock.charge(1000, BootCategory.IN_MONITOR, BootStep.MONITOR_STARTUP)
+    bus.write(TRACE_PORT, MILESTONE_KERNEL_ENTRY)
+    assert bus.milestone_ns(MILESTONE_KERNEL_ENTRY) == 1000
+    with pytest.raises(KeyError):
+        bus.milestone_ns(0x55)
+
+
+def test_handlers_invoked():
+    bus = PortIoBus(SimClock())
+    seen = []
+    bus.register(0x3F8, seen.append)
+    bus.write(0x3F8, ord("A"))
+    assert seen == [ord("A")]
+
+
+def test_duplicate_handler_rejected():
+    bus = PortIoBus(SimClock())
+    bus.register(0x3F8, lambda v: None)
+    with pytest.raises(ValueError):
+        bus.register(0x3F8, lambda v: None)

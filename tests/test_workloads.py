@@ -1,0 +1,99 @@
+"""Serverless workloads and the per-invocation platform."""
+
+import pytest
+
+from repro.core import LayoutResult, RandomizeMode
+from repro.errors import MonitorError
+from repro.monitor import VmConfig
+from repro.workloads import FUNCTIONS, ServerlessPlatform, invoke_ns
+from repro.workloads.platform import InstanceStrategy
+
+from helpers import randomize_into_memory
+
+
+def test_catalog_shapes():
+    assert len(FUNCTIONS) >= 5
+    for spec in FUNCTIONS.values():
+        assert spec.kernel_call_count() > 0
+        assert spec.user_ns > 0
+
+
+def test_invoke_ns_positive_and_deterministic(tiny_nokaslr):
+    layout = LayoutResult().finalize()
+    spec = FUNCTIONS["api-echo"]
+    a = invoke_ns(tiny_nokaslr, layout, spec)
+    b = invoke_ns(tiny_nokaslr, layout, spec)
+    assert a == b > spec.user_ns
+
+
+def test_fgkaslr_layout_slows_invocations():
+    """The Figure 11 effect must surface in application latency."""
+    from repro.artifacts import get_kernel
+    from repro.kernel import AWS, KernelVariant
+
+    nok = get_kernel(AWS, KernelVariant.NOKASLR, scale=64)
+    fg = get_kernel(AWS, KernelVariant.FGKASLR, scale=64)
+    base_layout = LayoutResult().finalize()
+    fg_layout, *_ = randomize_into_memory(fg, RandomizeMode.FGKASLR, seed=2)
+    slower = 0
+    for spec in FUNCTIONS.values():
+        if invoke_ns(fg, fg_layout, spec) > invoke_ns(nok, base_layout, spec):
+            slower += 1
+    assert slower >= len(FUNCTIONS) // 2
+
+
+def _factory(kernel):
+    def make(seed):
+        return VmConfig(kernel=kernel, randomize=RandomizeMode.KASLR, seed=seed)
+
+    return make
+
+
+def test_cold_boot_platform(fc, tiny_kaslr):
+    platform = ServerlessPlatform(fc, _factory(tiny_kaslr))
+    for i, spec in enumerate(list(FUNCTIONS.values())[:3]):
+        record = platform.handle(spec, seed=100 + i)
+        assert record.total_ms > record.invoke_ms > 0
+    assert platform.layout_diversity() == 3
+    assert platform.instantiation_rate_per_s() > 0
+
+
+def test_restore_platform_much_faster_but_uniform(fc, tiny_kaslr):
+    cold = ServerlessPlatform(fc, _factory(tiny_kaslr))
+    restore = ServerlessPlatform(
+        fc, _factory(tiny_kaslr), strategy=InstanceStrategy.RESTORE
+    )
+    restore.setup()
+    spec = FUNCTIONS["api-echo"]
+    for i in range(4):
+        cold.handle(spec, seed=i)
+        restore.handle(spec, seed=i)
+    assert restore.instantiation_rate_per_s() > 3 * cold.instantiation_rate_per_s()
+    assert restore.layout_diversity() == 1  # ASLR nullified
+    assert cold.layout_diversity() == 4
+
+
+def test_rebase_platform_keeps_rate_and_diversity(fc, tiny_kaslr):
+    rebase = ServerlessPlatform(
+        fc, _factory(tiny_kaslr), strategy=InstanceStrategy.RESTORE_REBASE
+    )
+    rebase.setup()
+    spec = FUNCTIONS["kv-cache"]
+    for i in range(6):
+        rebase.handle(spec, seed=i)
+    assert rebase.layout_diversity() >= 4
+    cold = ServerlessPlatform(fc, _factory(tiny_kaslr))
+    for i in range(3):
+        cold.handle(spec, seed=i)
+    assert rebase.instantiation_rate_per_s() > cold.instantiation_rate_per_s()
+
+
+def test_platform_guards(fc, tiny_kaslr):
+    platform = ServerlessPlatform(
+        fc, _factory(tiny_kaslr), strategy=InstanceStrategy.RESTORE
+    )
+    with pytest.raises(MonitorError, match="setup"):
+        platform.handle(FUNCTIONS["api-echo"], seed=1)
+    cold = ServerlessPlatform(fc, _factory(tiny_kaslr))
+    with pytest.raises(MonitorError, match="no invocations"):
+        cold.instantiation_rate_per_s()
