@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-paper examples clean
+.PHONY: install test bench bench-paper fleet-bench examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -16,6 +16,10 @@ bench:
 # paper-fidelity runs: 100 boots per series, like Section 5.1
 bench-paper:
 	REPRO_BOOTS=100 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# 256-VM fleet scaling sweep; writes benchmarks/results/fleet_scaling.txt
+fleet-bench:
+	$(PYTHON) -m pytest benchmarks/test_fleet_scaling.py --benchmark-only
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; done

@@ -8,6 +8,8 @@ built kernels across all runs.
 
 from __future__ import annotations
 
+import threading
+
 from repro.bzimage.build import build_bzimage
 from repro.bzimage.format import BzImage
 from repro.kernel.build import build_kernel
@@ -16,6 +18,9 @@ from repro.kernel.image import KernelImage
 
 _KERNELS: dict[tuple[str, KernelVariant, int, int], KernelImage] = {}
 _BZIMAGES: dict[tuple[str, KernelVariant, int, int, str, bool], BzImage] = {}
+# fleet worker threads may fault in the same artifact concurrently; builds
+# are deterministic, so the lock only prevents duplicate work
+_LOCK = threading.Lock()
 
 #: default build scale for benchmarks (DESIGN.md §7)
 BENCH_SCALE = 16
@@ -30,9 +35,10 @@ def get_kernel(
     """Build (or fetch) a kernel image."""
     cfg = PRESETS[config] if isinstance(config, str) else config
     key = (cfg.name, variant, scale, seed)
-    if key not in _KERNELS:
-        _KERNELS[key] = build_kernel(cfg, variant, scale=scale, seed=seed)
-    return _KERNELS[key]
+    with _LOCK:
+        if key not in _KERNELS:
+            _KERNELS[key] = build_kernel(cfg, variant, scale=scale, seed=seed)
+        return _KERNELS[key]
 
 
 def get_bzimage(
@@ -46,13 +52,15 @@ def get_bzimage(
     """Build (or fetch) a bzImage for the given kernel and codec."""
     cfg = PRESETS[config] if isinstance(config, str) else config
     key = (cfg.name, variant, scale, seed, codec, optimized)
-    if key not in _BZIMAGES:
-        kernel = get_kernel(cfg, variant, scale=scale, seed=seed)
-        _BZIMAGES[key] = build_bzimage(kernel, codec, optimized=optimized)
-    return _BZIMAGES[key]
+    kernel = get_kernel(cfg, variant, scale=scale, seed=seed)
+    with _LOCK:
+        if key not in _BZIMAGES:
+            _BZIMAGES[key] = build_bzimage(kernel, codec, optimized=optimized)
+        return _BZIMAGES[key]
 
 
 def clear_cache() -> None:
     """Drop all memoized artifacts (used by tests)."""
-    _KERNELS.clear()
-    _BZIMAGES.clear()
+    with _LOCK:
+        _KERNELS.clear()
+        _BZIMAGES.clear()

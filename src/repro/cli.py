@@ -3,6 +3,7 @@
 Subcommands::
 
     python -m repro boot    --kernel aws --mode fgkaslr [--format bzimage ...]
+    python -m repro fleet   --kernel aws --count 64 --workers 8   # Section 6
     python -m repro sizes                     # Table 1
     python -m repro codecs  --kernel lupine   # compression stats
     python -m repro lebench                   # Figure 11 summary
@@ -104,6 +105,31 @@ def _cmd_boot(args) -> int:
               f"({layout.total_entropy_bits:.1f} bits of entropy)")
     print(f"  verified {report.verification.functions_checked} functions / "
           f"{report.verification.sites_checked} relocation sites")
+    return 0
+
+
+def _cmd_fleet(args) -> int:
+    from repro.monitor import BootArtifactCache, FleetManager
+
+    vmm = _make_vmm(args)
+    vmm.artifact_cache = BootArtifactCache(max_entries=args.cache_entries)
+    cfg = _build_cfg(args)
+    cfg.seed = None  # per-instance seeds come from the fleet manager
+    manager = FleetManager(vmm, workers=args.workers)
+    report = manager.launch(
+        cfg, args.count, fleet_seed=args.seed, warm=not args.cold
+    )
+    print(report.summary())
+    print(
+        render_table(
+            ["stage", "p50 ms", "p99 ms", "mean ms", "max ms"],
+            report.stage_rows(),
+            title=f"per-boot stage latency across {report.n_vms} VMs",
+        )
+    )
+    print(
+        f"  {report.unique_layouts} distinct layouts across {report.n_vms} VMs"
+    )
     return 0
 
 
@@ -238,6 +264,32 @@ def build_parser() -> argparse.ArgumentParser:
     boot.add_argument("--timeline", action="store_true",
                       help="render an ASCII Gantt of the boot")
     boot.set_defaults(func=_cmd_boot)
+
+    fleet = sub.add_parser(
+        "fleet", parents=[common],
+        help="boot a fleet through the artifact cache (Section 6)",
+    )
+    fleet.add_argument("--kernel", choices=sorted(PRESETS), default="aws")
+    fleet.add_argument("--mode", choices=[m.value for m in RandomizeMode],
+                       default="fgkaslr")
+    fleet.add_argument("--format", choices=["vmlinux", "bzimage"],
+                       default="vmlinux")
+    fleet.add_argument("--codec", default="lz4")
+    fleet.add_argument("--optimized", action="store_true",
+                       help="compression-none-optimized bzImage layout")
+    fleet.add_argument("--protocol", choices=[p.value for p in BootProtocol],
+                       default="linux64")
+    fleet.add_argument("--mem", type=int, default=256, help="guest MiB")
+    fleet.add_argument("--count", type=int, default=64, help="fleet size")
+    fleet.add_argument("--workers", type=int, default=8,
+                       help="concurrent boot slots")
+    fleet.add_argument("--seed", type=int, default=1,
+                       help="fleet seed (per-VM seeds derive from it)")
+    fleet.add_argument("--cache-entries", type=int, default=64,
+                       help="boot-artifact cache capacity")
+    fleet.add_argument("--cold", action="store_true",
+                       help="skip warm-up (measure cold caches)")
+    fleet.set_defaults(func=_cmd_fleet)
 
     sizes = sub.add_parser("sizes", parents=[common], help="regenerate Table 1")
     sizes.set_defaults(func=_cmd_sizes)

@@ -11,22 +11,27 @@ mirroring Section 4.3's "the computational steps are the same" claim.
 """
 
 from repro.core.context import LOADER_STEPS, MONITOR_STEPS, RandoContext, RandoSteps
-from repro.core.fgkaslr import FgkaslrEngine, ShufflePlan
+from repro.core.fgkaslr import FgkaslrEngine, SectionInventory, ShufflePlan
 from repro.core.inmonitor import InMonitorRandomizer, RandomizeMode
 from repro.core.layout_result import LayoutResult
 from repro.core.policy import RandomizationPolicy
+from repro.core.prepared import PreparedImage, image_digest, prepare_image
 from repro.core.relocator import Relocator
 
 __all__ = [
     "FgkaslrEngine",
+    "image_digest",
     "InMonitorRandomizer",
     "LayoutResult",
     "LOADER_STEPS",
     "MONITOR_STEPS",
+    "prepare_image",
+    "PreparedImage",
     "RandoContext",
     "RandoSteps",
     "RandomizationPolicy",
     "RandomizeMode",
     "Relocator",
+    "SectionInventory",
     "ShufflePlan",
 ]

@@ -23,6 +23,26 @@ from repro.kernel import tables
 from repro.vm.memory import GuestMemory
 
 
+@dataclass(frozen=True)
+class SectionInventory:
+    """The seed-independent input to a shuffle: sections in link order.
+
+    This is the cacheable half of :meth:`FgkaslrEngine.plan` — it depends
+    only on the kernel image, so a fleet-serving monitor derives it once
+    per image (see :mod:`repro.core.prepared`) while every boot still runs
+    its own Fisher-Yates permutation over it.
+    """
+
+    #: (name, vaddr, size) for every ``.text.*`` section, by link vaddr
+    ordered: tuple[tuple[str, int, int], ...]
+    region_start: int
+    region_end: int
+
+    @property
+    def n_sections(self) -> int:
+        return len(self.ordered)
+
+
 @dataclass
 class ShufflePlan:
     """New locations for every shuffled function section."""
@@ -45,47 +65,60 @@ class ShufflePlan:
 class FgkaslrEngine:
     """Shuffles function sections and repairs the dependent tables."""
 
+    @staticmethod
+    def inventory(elf: ElfImage) -> SectionInventory:
+        """Collect the shuffle set in link order (cacheable parse phase)."""
+        sections = sorted(elf.function_sections(), key=lambda s: s.vaddr)
+        if not sections:
+            return SectionInventory(ordered=(), region_start=0, region_end=0)
+        return SectionInventory(
+            ordered=tuple((s.name, s.vaddr, s.size) for s in sections),
+            region_start=sections[0].vaddr,
+            region_end=max(s.vaddr + s.size for s in sections),
+        )
+
     def plan(self, elf: ElfImage, ctx: RandoContext) -> ShufflePlan:
         """Choose the permutation and compute every section's new address."""
-        sections = elf.function_sections()
-        if not sections:
+        return self.plan_from_inventory(self.inventory(elf), ctx)
+
+    def plan_from_inventory(
+        self, inventory: SectionInventory, ctx: RandoContext
+    ) -> ShufflePlan:
+        """The per-boot half of :meth:`plan`: draw and apply a permutation."""
+        if not inventory.ordered:
             raise RandomizationError(
                 "FGKASLR requested but the kernel has no .text.* sections "
                 "(was it built with -ffunction-sections?)"
             )
-        ordered = sorted(sections, key=lambda s: s.vaddr)
-        region_start = ordered[0].vaddr
-        region_end = max(s.vaddr + s.size for s in ordered)
-
         ctx.charge(
             ctx.costs.rng_ns(1, in_guest=ctx.in_guest),
             ctx.steps.rng,
             label="shuffle seed draw",
         )
-        permuted = list(ordered)
+        permuted = list(inventory.ordered)
         ctx.rng.shuffle(permuted)
 
         plan = ShufflePlan(
-            region_start=region_start,
-            region_end=region_end,
-            n_sections=len(ordered),
+            region_start=inventory.region_start,
+            region_end=inventory.region_end,
+            n_sections=inventory.n_sections,
         )
-        cursor = region_start
+        cursor = inventory.region_start
         new_start: dict[str, int] = {}
-        for section in permuted:
+        for name, _vaddr, size in permuted:
             cursor = kl.align_up(cursor, kl.FUNC_ALIGN)
-            new_start[section.name] = cursor
-            cursor += section.size
-        if cursor > region_end:
+            new_start[name] = cursor
+            cursor += size
+        if cursor > inventory.region_end:
             raise RandomizationError(
                 f"repacked sections overflow the text region "
-                f"({cursor:#x} > {region_end:#x})"
+                f"({cursor:#x} > {inventory.region_end:#x})"
             )
-        for section in ordered:
-            delta = new_start[section.name] - section.vaddr
-            plan.moved.append((section.vaddr, section.size, delta))
+        for name, vaddr, size in inventory.ordered:
+            delta = new_start[name] - vaddr
+            plan.moved.append((vaddr, size, delta))
             if delta:
-                plan.moved_bytes += section.size
+                plan.moved_bytes += size
         return plan
 
     # -- byte movement ------------------------------------------------------

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.context import RandoContext
 from repro.core.fgkaslr import FgkaslrEngine
@@ -34,6 +35,9 @@ from repro.elf.relocs import RelocationTable
 from repro.errors import RandomizationError
 from repro.kernel import layout as kl
 from repro.vm.memory import GuestMemory
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.prepared import PreparedImage
 
 
 class RandomizeMode(enum.Enum):
@@ -78,13 +82,54 @@ class InMonitorRandomizer:
         image already sits in guest memory and every byte move is an extra
         in-guest copy).
         """
-        n_symbols = len(elf.symbols) if mode is RandomizeMode.FGKASLR else 0
-        ctx.charge(
-            ctx.costs.elf_parse_ns(len(elf.sections), n_symbols),
-            ctx.steps.parse,
-            label=f"parse ELF ({len(elf.sections)} sections)",
+        from repro.core.prepared import prepare_image
+
+        prepared = prepare_image(elf, mode)
+        return self.run_prepared(
+            prepared,
+            relocs,
+            memory,
+            ctx,
+            guest_ram_bytes=guest_ram_bytes,
+            scale=scale,
+            charge_load_memcpy=charge_load_memcpy,
+            in_place=in_place,
+            from_cache=False,
         )
-        self._check_kernel_constants(elf)
+
+    def run_prepared(
+        self,
+        prepared: "PreparedImage",
+        relocs: RelocationTable | None,
+        memory: GuestMemory,
+        ctx: RandoContext,
+        guest_ram_bytes: int,
+        scale: int = 1,
+        charge_load_memcpy: bool = False,
+        in_place: bool = False,
+        from_cache: bool = False,
+    ) -> tuple[LayoutResult, LoadedImage]:
+        """The per-boot randomize phase, fed by a (possibly cached) parse.
+
+        ``from_cache=True`` means the parse phase was served by the
+        boot-artifact cache: the boot pays a constant probe instead of the
+        full section/symbol scan — the amortization that makes per-instance
+        randomization cheap at fleet scale.
+        """
+        elf = prepared.elf
+        mode = prepared.mode
+        if from_cache:
+            ctx.charge(
+                ctx.costs.artifact_cache_lookup(),
+                ctx.steps.parse,
+                label=f"layout cache hit ({prepared.digest[:12]})",
+            )
+        else:
+            ctx.charge(
+                ctx.costs.elf_parse_ns(prepared.n_sections, prepared.n_symbols),
+                ctx.steps.parse,
+                label=f"parse ELF ({prepared.n_sections} sections)",
+            )
 
         if mode is not RandomizeMode.NONE and relocs is None:
             raise RandomizationError(
@@ -96,15 +141,15 @@ class InMonitorRandomizer:
         layout = LayoutResult(link_vbase=kl.LINK_VBASE)
         phys_load = kl.PHYS_LOAD_ADDR
         if mode is not RandomizeMode.NONE:
-            image_mem = self._image_mem_bytes(elf)
             phys_load = self.policy.choose_physical_offset(
-                ctx, image_mem, guest_ram_bytes
+                ctx, prepared.image_mem_bytes, guest_ram_bytes
             )
             layout.phys_load = phys_load
 
         plan = None
         if mode is RandomizeMode.FGKASLR:
-            plan = self.engine.plan(elf, ctx)
+            assert prepared.fg_inventory is not None  # set by prepare_image
+            plan = self.engine.plan_from_inventory(prepared.fg_inventory, ctx)
             layout.moved = list(plan.moved)
             layout.entropy_bits_fg = plan.permutation_entropy_bits(scale)
 
@@ -145,27 +190,20 @@ class InMonitorRandomizer:
                 self.engine.fixup_orc(elf, memory, layout, ctx)
         return layout, loaded
 
-    @staticmethod
-    def _check_kernel_constants(elf: ElfImage) -> None:
-        """Validate the layout contract via the kernel-constants ELF note.
 
-        Section 4.3: the prototype hardcodes CONFIG_PHYSICAL_START & co.;
-        when the kernel carries the proposed constants note, the monitor
-        verifies agreement instead of trusting blindly.  Kernels without
-        the note keep the paper's hardcoded behaviour.
-        """
-        from repro.elf.notes import parse_notes
-        from repro.kernel.constants_note import KernelConstants
+def check_kernel_constants(elf: ElfImage) -> None:
+    """Validate the layout contract via the kernel-constants ELF note.
 
-        if not elf.has_section(".notes"):
-            return
-        constants = KernelConstants.from_notes(parse_notes(elf.section(".notes").data))
-        if constants is not None:
-            constants.check_monitor_contract()
+    Section 4.3: the prototype hardcodes CONFIG_PHYSICAL_START & co.;
+    when the kernel carries the proposed constants note, the monitor
+    verifies agreement instead of trusting blindly.  Kernels without
+    the note keep the paper's hardcoded behaviour.
+    """
+    from repro.elf.notes import parse_notes
+    from repro.kernel.constants_note import KernelConstants
 
-    @staticmethod
-    def _image_mem_bytes(elf: ElfImage) -> int:
-        segments = elf.load_segments()
-        lo = min(s.p_paddr for s in segments)
-        hi = max(s.p_paddr + s.p_memsz for s in segments)
-        return hi - lo
+    if not elf.has_section(".notes"):
+        return
+    constants = KernelConstants.from_notes(parse_notes(elf.section(".notes").data))
+    if constants is not None:
+        constants.check_monitor_contract()

@@ -54,7 +54,10 @@ def parse_notes(data: bytes) -> list[ElfNote]:
         desc_end = desc_start + descsz
         if desc_end > len(data):
             raise ElfParseError("note descriptor exceeds section size")
-        name = data[pos : name_end - 1].decode("ascii") if namesz else ""
+        try:
+            name = data[pos : name_end - 1].decode("ascii") if namesz else ""
+        except UnicodeDecodeError as exc:
+            raise ElfParseError(f"note name is not ASCII: {exc}") from None
         desc = data[desc_start:desc_end]
         notes.append(ElfNote(name=name, note_type=note_type, desc=desc))
         pos = desc_start + _align4(descsz)

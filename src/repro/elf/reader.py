@@ -104,8 +104,17 @@ class ElfImage:
     def _strtab_name(strtab: bytes, offset: int) -> str:
         if offset >= len(strtab):
             raise ElfParseError(f"string-table offset {offset} out of range")
-        end = strtab.index(b"\x00", offset)
-        return strtab[offset:end].decode("ascii")
+        end = strtab.find(b"\x00", offset)
+        if end < 0:
+            raise ElfParseError(
+                f"string at table offset {offset} is not NUL-terminated"
+            )
+        try:
+            return strtab[offset:end].decode("ascii")
+        except UnicodeDecodeError as exc:
+            raise ElfParseError(
+                f"string at table offset {offset} is not ASCII: {exc}"
+            ) from None
 
     # -- accessors --------------------------------------------------------------
 

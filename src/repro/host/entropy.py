@@ -10,14 +10,21 @@ and in-guest draws is captured by the cost model.
 from __future__ import annotations
 
 import random
+import threading
 
 
 class HostEntropyPool:
-    """Deterministic stand-in for ``/dev/urandom``."""
+    """Deterministic stand-in for ``/dev/urandom``.
+
+    Draws are serialized by a lock: a long-running host pool is shared by
+    every monitor thread booting fleet instances, and ``draws`` / the RNG
+    stream must stay consistent under that concurrency.
+    """
 
     def __init__(self, seed: int = 0) -> None:
         self._seed = seed
         self._rng = random.Random(seed)
+        self._lock = threading.Lock()
         self.draws = 0
 
     @property
@@ -25,21 +32,25 @@ class HostEntropyPool:
         return self._seed
 
     def reseed(self, seed: int) -> None:
-        self._seed = seed
-        self._rng = random.Random(seed)
+        with self._lock:
+            self._seed = seed
+            self._rng = random.Random(seed)
 
     def draw_u64(self) -> int:
-        self.draws += 1
-        return self._rng.getrandbits(64)
+        with self._lock:
+            self.draws += 1
+            return self._rng.getrandbits(64)
 
     def randrange(self, n: int) -> int:
         """Uniform integer in [0, n); counts as one pool draw."""
         if n <= 0:
             raise ValueError(f"randrange bound must be positive: {n}")
-        self.draws += 1
-        return self._rng.randrange(n)
+        with self._lock:
+            self.draws += 1
+            return self._rng.randrange(n)
 
     def shuffle_rng(self) -> random.Random:
         """A child RNG for Fisher-Yates shuffles; counts as one seed draw."""
-        self.draws += 1
-        return random.Random(self._rng.getrandbits(64))
+        with self._lock:
+            self.draws += 1
+            return random.Random(self._rng.getrandbits(64))

@@ -7,18 +7,26 @@ argument (Figure 8).  :class:`Qemu` is the same machinery under QEMU-like
 monitor constants, used for the Section 2.2 cross-check.
 """
 
+from repro.monitor.artifact_cache import BootArtifactCache, CacheStats
 from repro.monitor.config import BootFormat, BootProtocol, VmConfig
+from repro.monitor.fleet import FleetBoot, FleetManager, FleetReport, StageLatency
 from repro.monitor.report import BootReport
 from repro.monitor.vm_handle import MicroVm
 from repro.monitor.vmm import Firecracker, MonitorProfile, Qemu
 
 __all__ = [
+    "BootArtifactCache",
     "BootFormat",
     "BootProtocol",
     "BootReport",
+    "CacheStats",
     "Firecracker",
+    "FleetBoot",
+    "FleetManager",
+    "FleetReport",
     "MicroVm",
     "MonitorProfile",
     "Qemu",
+    "StageLatency",
     "VmConfig",
 ]

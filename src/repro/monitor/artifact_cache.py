@@ -1,0 +1,152 @@
+"""Content-addressed boot-artifact cache.
+
+A monitor serving a fleet boots the same few kernel images thousands of
+times.  The parse phase of the randomization pipeline (section inventory,
+symbol scan, constants contract — :mod:`repro.core.prepared`) depends only
+on the image bytes and policy, never the per-boot seed, so the fleet path
+memoizes it here and leaves only the shuffle + offset draw + relocation
+pass on the per-instance hot path.
+
+Entries are keyed on ``(image digest, policy fingerprint, seed class)``:
+
+* the **image digest** is the SHA-256 of the ELF bytes — content
+  addressing, so renaming a kernel or registering the same build twice
+  cannot duplicate an entry, and any rebuilt image gets a fresh one;
+* the **policy fingerprint** folds in the randomization policy, since a
+  policy change invalidates planning assumptions;
+* the **seed class** segregates populations whose seeds come from
+  different regimes (e.g. per-VM draws vs a shared pool seed) so an
+  operator can flush one class without disturbing another.
+
+The cache is bounded LRU with hit/miss/eviction counters, and is safe for
+concurrent use by fleet worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.inmonitor import RandomizeMode
+from repro.core.policy import RandomizationPolicy
+from repro.core.prepared import PreparedImage, image_digest, prepare_image
+from repro.elf.reader import ElfImage
+
+#: seed class for fleets where every instance draws its own seed
+SEED_CLASS_PER_VM = "per-vm"
+
+
+def policy_fingerprint(policy: RandomizationPolicy) -> str:
+    """Stable digest-key component for a randomization policy."""
+    return (
+        f"{policy.min_offset:#x}:{policy.max_offset:#x}:"
+        f"{policy.align:#x}:{int(policy.randomize_physical)}"
+    )
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """(what bytes, under which policy, for which seed population)."""
+
+    image_digest: str
+    policy: str
+    seed_class: str
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of cache effectiveness."""
+
+    hits: int
+    misses: int
+    evictions: int
+    entries: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class BootArtifactCache:
+    """Bounded LRU over :class:`PreparedImage` parse products."""
+
+    def __init__(self, max_entries: int = 64) -> None:
+        if max_entries < 1:
+            raise ValueError(f"cache needs at least one entry, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[CacheKey, PreparedImage]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- raw access ----------------------------------------------------------
+
+    def lookup(self, key: CacheKey) -> PreparedImage | None:
+        """Probe the cache; counts a hit or miss and refreshes LRU order."""
+        with self._lock:
+            prepared = self._entries.get(key)
+            if prepared is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return prepared
+
+    def insert(self, key: CacheKey, prepared: PreparedImage) -> None:
+        """Add (or refresh) an entry, evicting LRU entries past the bound."""
+        with self._lock:
+            self._entries[key] = prepared
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    # -- the fleet-facing API --------------------------------------------------
+
+    def get_or_parse(
+        self,
+        elf: ElfImage,
+        mode: RandomizeMode,
+        policy: RandomizationPolicy,
+        seed_class: str = SEED_CLASS_PER_VM,
+    ) -> tuple[PreparedImage, bool]:
+        """Serve the parse phase; returns ``(prepared, was_hit)``.
+
+        On a miss the image is parsed cold and inserted; concurrent misses
+        on the same key may parse twice, but content addressing makes the
+        results interchangeable, so the race is benign.
+
+        The randomize mode folds into the policy component: the symbol scan
+        and FGKASLR inventory differ by mode, so each mode owns an entry.
+        """
+        digest = image_digest(elf.data)
+        key = CacheKey(
+            image_digest=digest,
+            policy=f"{mode}:{policy_fingerprint(policy)}",
+            seed_class=seed_class,
+        )
+        prepared = self.lookup(key)
+        if prepared is not None:
+            return prepared, True
+        fresh = prepare_image(elf, mode, digest=digest)
+        self.insert(key, fresh)
+        return fresh, False
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                entries=len(self._entries),
+            )

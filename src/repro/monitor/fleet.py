@@ -1,0 +1,280 @@
+"""Fleet instantiation through a shared monitor and boot-artifact cache.
+
+Section 6's instantiation-rate experiment boots the same kernel image over
+and over, as fast as the host allows.  :class:`FleetManager` reproduces
+that workload: one :class:`~repro.monitor.vmm.Firecracker` instance serves
+``count`` concurrent ``boot`` calls through a ``concurrent.futures`` worker
+pool, with the seed-independent parse phase served from the shared
+:class:`~repro.monitor.artifact_cache.BootArtifactCache` so only the
+per-instance shuffle + offset draw + relocation pass runs on the hot path.
+
+Determinism under concurrency: every per-boot seed is drawn up front from
+``random.Random(fleet_seed)`` in launch order, each boot runs on a private
+clock and cost-model clone, and the aggregate wall clock admits boots in
+fleet-index order — so neither results nor timings depend on which Python
+thread finished first.
+
+This module must not import :mod:`repro.analysis` (which itself imports
+``repro.monitor``); the percentile helper therefore lives here.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Mapping, Sequence
+
+from repro.errors import MonitorError
+from repro.monitor.artifact_cache import BootArtifactCache, CacheStats
+from repro.monitor.config import BootFormat, VmConfig
+from repro.monitor.report import BootReport
+from repro.monitor.vmm import Firecracker
+from repro.simtime.fleetclock import FleetWallClock
+from repro.simtime.trace import BootStep
+
+#: per-boot stage buckets over the fine-grained trace steps; "total" is
+#: added separately so every report always carries at least one stage
+FLEET_STAGES: dict[str, tuple[BootStep, ...]] = {
+    "monitor_startup": (BootStep.MONITOR_STARTUP,),
+    "image_read": (BootStep.MONITOR_IMAGE_READ,),
+    "parse": (BootStep.MONITOR_ELF_PARSE, BootStep.LOADER_ELF_PARSE),
+    "randomize": (
+        BootStep.MONITOR_RNG,
+        BootStep.MONITOR_SHUFFLE,
+        BootStep.MONITOR_RELOCATE,
+        BootStep.MONITOR_TABLE_FIXUP,
+        BootStep.LOADER_RNG,
+        BootStep.LOADER_SHUFFLE,
+        BootStep.LOADER_RELOCATE,
+        BootStep.LOADER_TABLE_FIXUP,
+    ),
+    "segment_load": (BootStep.MONITOR_SEGMENT_LOAD, BootStep.LOADER_SEGMENT_LOAD),
+    "bootstrap": (
+        BootStep.LOADER_INIT,
+        BootStep.LOADER_HEAP_ZERO,
+        BootStep.LOADER_COPY_KERNEL,
+        BootStep.LOADER_DECOMPRESS,
+        BootStep.LOADER_JUMP,
+    ),
+    "vm_setup": (
+        BootStep.MONITOR_BOOT_PARAMS,
+        BootStep.MONITOR_PAGETABLE,
+        BootStep.MONITOR_GUEST_ENTRY,
+    ),
+    "linux_boot": (
+        BootStep.KERNEL_MEM_INIT,
+        BootStep.KERNEL_INIT,
+        BootStep.KERNEL_RUN_INIT,
+    ),
+}
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (the paper's p50/p99 convention)."""
+    if not 0 < q <= 100:
+        raise ValueError(f"percentile must be in (0, 100], got {q}")
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class StageLatency:
+    """Latency distribution of one boot stage across the fleet (ms)."""
+
+    stage: str
+    p50_ms: float
+    p99_ms: float
+    mean_ms: float
+    max_ms: float
+
+
+@dataclass(frozen=True)
+class FleetBoot:
+    """One instance of the fleet: its boot outcome and wall-clock window."""
+
+    index: int
+    seed: int
+    total_ms: float
+    voffset: int
+    wall_start_ms: float
+    wall_end_ms: float
+    report: BootReport
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """What one fleet launch produced, for figures and regression gates."""
+
+    kernel_name: str
+    mode: str
+    n_vms: int
+    workers: int
+    boots: tuple[FleetBoot, ...]
+    stages: Mapping[str, StageLatency]
+    cache: CacheStats
+    serial_ms: float
+    makespan_ms: float
+
+    @property
+    def speedup(self) -> float:
+        return self.serial_ms / self.makespan_ms if self.makespan_ms else 1.0
+
+    @property
+    def rate_per_s(self) -> float:
+        """Instantiation rate: fleet size over wall-clock seconds."""
+        return self.n_vms / (self.makespan_ms / 1e3) if self.makespan_ms else 0.0
+
+    @property
+    def unique_voffsets(self) -> int:
+        return len({boot.voffset for boot in self.boots})
+
+    @property
+    def unique_layouts(self) -> int:
+        """Distinct (voffset, section order) pairs across the fleet."""
+        return len(
+            {
+                (boot.voffset, tuple(boot.report.layout.moved))
+                for boot in self.boots
+            }
+        )
+
+    def summary(self) -> str:
+        return (
+            f"{self.kernel_name} fleet: {self.n_vms} VMs / {self.workers} workers"
+            f" ({self.mode}) | wall {self.makespan_ms:.1f} ms"
+            f" (serial {self.serial_ms:.1f}, x{self.speedup:.2f})"
+            f" | {self.rate_per_s:.1f} VMs/s"
+            f" | cache {self.cache.hits}h/{self.cache.misses}m"
+            f"/{self.cache.evictions}e ({self.cache.hit_rate * 100:.1f}% hit)"
+        )
+
+    def stage_rows(self) -> list[list[str]]:
+        """Table rows (stage, p50, p99, mean, max) for the CLI/benchmarks."""
+        return [
+            [
+                lat.stage,
+                f"{lat.p50_ms:.3f}",
+                f"{lat.p99_ms:.3f}",
+                f"{lat.mean_ms:.3f}",
+                f"{lat.max_ms:.3f}",
+            ]
+            for lat in self.stages.values()
+        ]
+
+
+def _stage_latencies(reports: Sequence[BootReport]) -> dict[str, StageLatency]:
+    totals = [report.timeline.step_totals_ns() for report in reports]
+    stages: dict[str, StageLatency] = {}
+    for stage, steps in FLEET_STAGES.items():
+        samples = [sum(t.get(s, 0) for s in steps) / 1e6 for t in totals]
+        if not any(samples):
+            continue  # stage never ran (e.g. loader stages on a vmlinux fleet)
+        stages[stage] = _latency(stage, samples)
+    stages["total"] = _latency("total", [r.total_ms for r in reports])
+    return stages
+
+
+def _latency(stage: str, samples: Sequence[float]) -> StageLatency:
+    return StageLatency(
+        stage=stage,
+        p50_ms=percentile(samples, 50),
+        p99_ms=percentile(samples, 99),
+        mean_ms=sum(samples) / len(samples),
+        max_ms=max(samples),
+    )
+
+
+class FleetManager:
+    """Boots fleets of microVMs through one shared monitor.
+
+    The monitor gains a :class:`BootArtifactCache` if it does not already
+    hold one — a fleet is exactly the workload the cache exists for.
+    """
+
+    def __init__(self, vmm: Firecracker, workers: int = 8) -> None:
+        if workers < 1:
+            raise MonitorError(f"fleet needs at least one worker, got {workers}")
+        self.vmm = vmm
+        self.workers = workers
+        if vmm.artifact_cache is None:
+            vmm.artifact_cache = BootArtifactCache()
+
+    def launch(
+        self,
+        cfg: VmConfig,
+        count: int,
+        fleet_seed: int = 0,
+        seeds: Sequence[int] | None = None,
+        warm: bool = True,
+    ) -> FleetReport:
+        """Boot ``count`` instances of ``cfg``, each with its own seed.
+
+        ``seeds`` overrides the per-instance seeds; otherwise they are drawn
+        up front from ``random.Random(fleet_seed)``.  ``warm`` models the
+        paper's warm-up boots: the host page cache and the artifact cache
+        are primed before measurement, so the counters in the returned
+        report cover only the fleet itself.
+        """
+        if count < 1:
+            raise MonitorError(f"fleet needs at least one VM, got {count}")
+        if seeds is None:
+            rng = random.Random(fleet_seed)
+            seeds = [rng.getrandbits(64) for _ in range(count)]
+        elif len(seeds) != count:
+            raise MonitorError(
+                f"fleet of {count} VMs given {len(seeds)} seeds"
+            )
+        cache = self.vmm.artifact_cache
+        assert cache is not None  # installed in __init__
+        if warm:
+            self.vmm.warm_caches(cfg)
+            if cfg.boot_format is BootFormat.VMLINUX:
+                cache.get_or_parse(
+                    cfg.kernel.elf,
+                    cfg.randomize,
+                    cfg.policy,
+                    seed_class=cfg.seed_class,
+                )
+        before = cache.stats()
+
+        cfgs = [replace(cfg, seed=seed) for seed in seeds]
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            reports = list(pool.map(self.vmm.boot, cfgs))
+        after = cache.stats()
+
+        wall = FleetWallClock(self.workers)
+        boots = []
+        for index, (seed, report) in enumerate(zip(seeds, reports)):
+            start_ns, end_ns = wall.admit(report.timeline.total_ns)
+            boots.append(
+                FleetBoot(
+                    index=index,
+                    seed=seed,
+                    total_ms=report.total_ms,
+                    voffset=report.layout.voffset,
+                    wall_start_ms=start_ns / 1e6,
+                    wall_end_ms=end_ns / 1e6,
+                    report=report,
+                )
+            )
+        return FleetReport(
+            kernel_name=cfg.kernel.name,
+            mode=str(cfg.randomize),
+            n_vms=count,
+            workers=self.workers,
+            boots=tuple(boots),
+            stages=_stage_latencies(reports),
+            cache=CacheStats(
+                hits=after.hits - before.hits,
+                misses=after.misses - before.misses,
+                evictions=after.evictions - before.evictions,
+                entries=after.entries,
+            ),
+            serial_ms=wall.serial_ms,
+            makespan_ms=wall.makespan_ms,
+        )

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.bootstrap.loader import BootstrapLoader
 from repro.core.context import RandoContext
@@ -33,11 +33,12 @@ from repro.kernel import layout as kl
 from repro.kernel.manifest import FUNCTION_PROLOGUE
 from repro.kernel.verify import verify_guest_kernel
 from repro.monitor.addrspace import build_kernel_address_space
+from repro.monitor.artifact_cache import BootArtifactCache
 from repro.monitor.config import BootFormat, BootProtocol, VmConfig
 from repro.monitor.report import BootReport
 from repro.monitor.vm_handle import MicroVm
 from repro.simtime.clock import SimClock
-from repro.simtime.costs import CostModel
+from repro.simtime.costs import CostModel, JitterModel
 from repro.simtime.trace import BootCategory, BootStep
 from repro.vm.bootparams import BP_FLAG_IN_MONITOR_KASLR, BootParams
 from repro.vm.cpu import VcpuState
@@ -70,7 +71,14 @@ QEMU_PROFILE = MonitorProfile(
 
 
 class Firecracker:
-    """A Firecracker-like microVM monitor over the simulated substrate."""
+    """A Firecracker-like microVM monitor over the simulated substrate.
+
+    One instance may serve concurrent :meth:`boot_vm` calls (the fleet
+    path): every boot works on a per-boot cost-model clone and its own
+    clock/memory, and the only shared mutable pieces — host storage's page
+    cache, the entropy pool, and the optional boot-artifact cache — are
+    safe to share.
+    """
 
     profile: MonitorProfile = FIRECRACKER_PROFILE
 
@@ -79,11 +87,12 @@ class Firecracker:
         storage: HostStorage,
         costs: CostModel | None = None,
         entropy: HostEntropyPool | None = None,
+        artifact_cache: BootArtifactCache | None = None,
     ) -> None:
         self.storage = storage
         self.costs = costs if costs is not None else CostModel()
         self.entropy = entropy if entropy is not None else HostEntropyPool()
-        self._last_pt_bytes = 0
+        self.artifact_cache = artifact_cache
 
     # -- public API ------------------------------------------------------------
 
@@ -133,14 +142,13 @@ class Firecracker:
         seed = cfg.seed if cfg.seed is not None else self.entropy.draw_u64()
         rng = random.Random(seed)
         # Distinct per-boot measurement noise, deterministic in the seed.
-        self.costs.jitter.reseed(
-            zlib.crc32(f"{self.profile.name}:{cfg.kernel.name}:{seed}".encode())
-        )
+        # A per-boot clone keeps concurrent boots off one shared jitter RNG.
+        costs = self._boot_costs(cfg, seed)
 
         clock = SimClock()
         bus = PortIoBus(clock)
         clock.charge(
-            self._startup_ns(),
+            self._startup_ns(costs),
             category=BootCategory.IN_MONITOR,
             step=BootStep.MONITOR_STARTUP,
             label=f"{self.profile.name} startup",
@@ -148,13 +156,15 @@ class Firecracker:
         memory = GuestMemory(cfg.mem_bytes)
 
         if cfg.boot_format is BootFormat.VMLINUX:
-            layout, loaded = self._direct_boot(cfg, memory, clock, rng)
+            layout, loaded = self._direct_boot(cfg, memory, clock, rng, costs)
         else:
-            layout, loaded = self._bzimage_boot(cfg, memory, clock, rng, bus)
+            layout, loaded = self._bzimage_boot(cfg, memory, clock, rng, bus, costs)
 
-        walker = self._finish_setup(cfg, memory, clock, layout, loaded.mem_bytes)
-        self._enter_guest(cfg, clock, bus, walker, layout)
-        verification = self._run_guest(cfg, memory, clock, bus, walker, layout)
+        walker, pt_bytes = self._finish_setup(
+            cfg, memory, clock, layout, loaded.mem_bytes, costs
+        )
+        self._enter_guest(cfg, clock, bus, walker, layout, costs)
+        verification = self._run_guest(cfg, memory, clock, bus, walker, layout, costs)
 
         codec = (
             cfg.bzimage.header.codec
@@ -182,19 +192,33 @@ class Firecracker:
             walker=walker,
             layout=layout,
             clock=clock,
-            costs=self.costs,
+            costs=costs,
             bus=bus,
-            pt_tables_bytes=self._last_pt_bytes,
+            pt_tables_bytes=pt_bytes,
         )
         return report, vm
 
     # -- boot paths --------------------------------------------------------------
 
-    def _direct_boot(self, cfg, memory, clock, rng):
-        data = self.storage.read(cfg.kernel_file_name(), clock, self.costs)
+    def _boot_costs(self, cfg, seed) -> CostModel:
+        """A per-boot :class:`CostModel` with its own seeded jitter stream.
+
+        Cloning (rather than reseeding the shared model) is what makes
+        concurrent ``boot_vm`` calls deterministic: each boot draws noise
+        from a private RNG keyed exactly as the serial path always was.
+        """
+        jseed = zlib.crc32(f"{self.profile.name}:{cfg.kernel.name}:{seed}".encode())
+        return replace(
+            self.costs,
+            jitter=JitterModel(sigma=self.costs.jitter.sigma, seed=jseed),
+            decompress_mib_s=dict(self.costs.decompress_mib_s),
+        )
+
+    def _direct_boot(self, cfg, memory, clock, rng, costs):
+        data = self.storage.read(cfg.kernel_file_name(), clock, costs)
         relocs = None
         if cfg.randomize is not RandomizeMode.NONE:
-            self.storage.read(cfg.relocs_file_name(), clock, self.costs)
+            self.storage.read(cfg.relocs_file_name(), clock, costs)
             relocs = cfg.kernel.reloc_table
         elf = cfg.kernel.elf
         if data != cfg.kernel.vmlinux:
@@ -204,7 +228,20 @@ class Firecracker:
             lazy_kallsyms=cfg.lazy_kallsyms,
             update_orc=cfg.update_orc,
         )
-        ctx = RandoContext.monitor(clock, self.costs, rng)
+        ctx = RandoContext.monitor(clock, costs, rng)
+        if self.artifact_cache is not None:
+            prepared, hit = self.artifact_cache.get_or_parse(
+                elf, cfg.randomize, cfg.policy, seed_class=cfg.seed_class
+            )
+            return randomizer.run_prepared(
+                prepared,
+                relocs,
+                memory,
+                ctx,
+                guest_ram_bytes=cfg.mem_bytes,
+                scale=cfg.kernel.scale,
+                from_cache=hit,
+            )
         return randomizer.run(
             elf,
             relocs,
@@ -215,9 +252,9 @@ class Firecracker:
             scale=cfg.kernel.scale,
         )
 
-    def _bzimage_boot(self, cfg, memory, clock, rng, bus):
+    def _bzimage_boot(self, cfg, memory, clock, rng, bus, costs):
         assert cfg.bzimage is not None
-        data = self.storage.read(cfg.kernel_file_name(), clock, self.costs)
+        data = self.storage.read(cfg.kernel_file_name(), clock, costs)
         if data != cfg.bzimage.data:
             raise MonitorError("host storage returned a different bzImage")
         end = kl.BZIMAGE_LOAD_ADDR + len(data)
@@ -232,7 +269,7 @@ class Firecracker:
             cfg.bzimage,
             memory,
             clock,
-            self.costs,
+            costs,
             rng,
             cfg.randomize,
             guest_ram_bytes=cfg.mem_bytes,
@@ -242,7 +279,7 @@ class Firecracker:
 
     # -- shared tail --------------------------------------------------------------
 
-    def _finish_setup(self, cfg, memory, clock, layout, kernel_mem_bytes):
+    def _finish_setup(self, cfg, memory, clock, layout, kernel_mem_bytes, costs):
         params = BootParams(cmdline_ptr=kl.CMDLINE_ADDR)
         params.add_e820(0, cfg.mem_bytes)
         if cfg.initrd:
@@ -258,7 +295,7 @@ class Firecracker:
             params.initrd_ptr = initrd_addr
             params.initrd_size = len(cfg.initrd)
             clock.charge(
-                self.costs.memcpy_ns(len(cfg.initrd)),
+                costs.memcpy_ns(len(cfg.initrd)),
                 category=BootCategory.IN_MONITOR,
                 step=BootStep.MONITOR_IMAGE_READ,
                 label=f"load initrd ({len(cfg.initrd)} bytes)",
@@ -269,22 +306,21 @@ class Firecracker:
         memory.write(kl.CMDLINE_ADDR, cfg.effective_cmdline.encode() + b"\x00")
         memory.write(kl.BOOT_PARAMS_ADDR, params.pack())
         clock.charge(
-            self.costs.vmm_boot_params(),
+            costs.vmm_boot_params(),
             category=BootCategory.IN_MONITOR,
             step=BootStep.MONITOR_BOOT_PARAMS,
             label="boot_params + cmdline",
         )
         builder = build_kernel_address_space(memory, layout, kernel_mem_bytes)
         clock.charge(
-            self.costs.vmm_pagetable_ns(kernel_mem_bytes),
+            costs.vmm_pagetable_ns(kernel_mem_bytes),
             category=BootCategory.IN_MONITOR,
             step=BootStep.MONITOR_PAGETABLE,
             label="early page tables",
         )
-        self._last_pt_bytes = builder.tables_bytes
-        return PageTableWalker(memory, builder.pml4)
+        return PageTableWalker(memory, builder.pml4), builder.tables_bytes
 
-    def _enter_guest(self, cfg, clock, bus, walker, layout):
+    def _enter_guest(self, cfg, clock, bus, walker, layout, costs):
         vcpu = VcpuState()
         if cfg.boot_protocol is BootProtocol.PVH:
             notes = parse_notes(cfg.kernel.elf.section(".notes").data)
@@ -304,7 +340,7 @@ class Firecracker:
                     "64-bit boot protocol contract violated: " + "; ".join(problems)
                 )
         clock.charge(
-            self._guest_entry_ns(),
+            self._guest_entry_ns(costs),
             category=BootCategory.IN_MONITOR,
             step=BootStep.MONITOR_GUEST_ENTRY,
             label="KVM_RUN",
@@ -320,8 +356,8 @@ class Firecracker:
             )
         bus.write(TRACE_PORT, MILESTONE_KERNEL_ENTRY)
 
-    def _run_guest(self, cfg, memory, clock, bus, walker, layout):
-        mem_ns, base_ns = self.costs.kernel_boot_ns(
+    def _run_guest(self, cfg, memory, clock, bus, walker, layout, costs):
+        mem_ns, base_ns = costs.kernel_boot_ns(
             cfg.kernel.config.linux_boot_base_ms, cfg.mem_mib
         )
         clock.charge(
@@ -348,15 +384,15 @@ class Firecracker:
 
     # -- profile plumbing ------------------------------------------------------------
 
-    def _startup_ns(self) -> float:
+    def _startup_ns(self, costs) -> float:
         if self.profile.startup_ns is not None:
-            return self.profile.startup_ns * self.costs.jitter.factor()
-        return self.costs.vmm_startup()
+            return self.profile.startup_ns * costs.jitter.factor()
+        return costs.vmm_startup()
 
-    def _guest_entry_ns(self) -> float:
+    def _guest_entry_ns(self, costs) -> float:
         if self.profile.guest_entry_ns is not None:
-            return self.profile.guest_entry_ns * self.costs.jitter.factor()
-        return self.costs.vmm_guest_entry()
+            return self.profile.guest_entry_ns * costs.jitter.factor()
+        return costs.vmm_guest_entry()
 
 
 class Qemu(Firecracker):

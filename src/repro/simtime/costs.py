@@ -126,6 +126,9 @@ class CostModel:
     #: per-symbol kallsyms address rewrite + re-sort share (Section 4.3:
     #: "fixing up /proc/kallsyms amounts to 22% of overall boot times")
     kallsyms_fixup_symbol_ns: float = 1_100.0
+    #: probing the monitor's content-addressed boot-artifact cache (digest
+    #: compare + pin); replaces the full parse on the fleet hot path
+    artifact_cache_lookup_ns: float = 1_800.0
 
     #: per-PT_LOAD-segment bookkeeping when the monitor loads straight from
     #: the page cache into guest memory (the byte copy itself is the
@@ -242,6 +245,10 @@ class CostModel:
 
     def kallsyms_fixup_ns(self, n_symbols: int) -> float:
         return self._scaled(n_symbols * self.kallsyms_fixup_symbol_ns)
+
+    def artifact_cache_lookup(self) -> float:
+        """One boot-artifact cache probe (constant; hit path only)."""
+        return self._const(self.artifact_cache_lookup_ns)
 
     # --- monitor ------------------------------------------------------------------
 

@@ -15,6 +15,7 @@ can offer, since the monitor is the party holding ``vmlinux.relocs``.
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass, field
 
 from repro.core.context import RandoContext
@@ -68,6 +69,8 @@ class Snapshot:
         return self._restores
 
     _restores: int = field(default=0, repr=False)
+    # one snapshot serves many concurrent restores in a fleet fan-out
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
 
 @dataclass
@@ -120,7 +123,8 @@ class SnapshotManager:
             bus=PortIoBus(clock),
             pt_tables_bytes=snapshot.pt_tables_bytes,
         )
-        snapshot._restores += 1
+        with snapshot._lock:
+            snapshot._restores += 1
         return vm, clock.elapsed_ms()
 
     def restore_rebased(

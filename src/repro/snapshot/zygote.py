@@ -16,8 +16,10 @@ Section 7's landscape, made executable:
 from __future__ import annotations
 
 import enum
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.errors import MonitorError
 from repro.monitor.config import VmConfig
@@ -56,6 +58,7 @@ class ZygotePool:
     manager: SnapshotManager = field(init=False)
     _zygotes: list[Snapshot] = field(default_factory=list)
     _next: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
     fill_cost_ms: float = 0.0
 
     def __post_init__(self) -> None:
@@ -84,10 +87,41 @@ class ZygotePool:
         if not self._zygotes:
             raise MonitorError("zygote pool is empty; call fill() first")
         if self.policy is ZygotePolicy.POOL:
-            index = self._next % len(self._zygotes)
-            self._next += 1
+            with self._lock:
+                index = self._next % len(self._zygotes)
+                self._next += 1
         else:
             index = 0
+        return self._acquire_from(index, seed)
+
+    def acquire_fleet(
+        self, seeds: Sequence[int], workers: int = 4
+    ) -> list[AcquireResult]:
+        """Fan out one acquisition per seed over a worker pool.
+
+        Unlike repeated :meth:`acquire` calls from racing threads, the
+        zygote assignment is fixed by *position* in ``seeds`` (position mod
+        pool size under the ``pool`` policy), so the result list is
+        deterministic regardless of thread scheduling.  Results come back
+        in ``seeds`` order.
+        """
+        if not self._zygotes:
+            raise MonitorError("zygote pool is empty; call fill() first")
+        if workers < 1:
+            raise MonitorError(f"fleet needs at least one worker, got {workers}")
+
+        def one(position_seed: tuple[int, int]) -> AcquireResult:
+            position, seed = position_seed
+            if self.policy is ZygotePolicy.POOL:
+                index = position % len(self._zygotes)
+            else:
+                index = 0
+            return self._acquire_from(index, seed)
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(one, enumerate(seeds)))
+
+    def _acquire_from(self, index: int, seed: int) -> AcquireResult:
         snapshot = self._zygotes[index]
         if self.policy is ZygotePolicy.REBASE:
             vm, latency = self.manager.restore_rebased(snapshot, seed=seed)

@@ -55,6 +55,69 @@ def test_series_is_reproducible(tiny_fgkaslr):
     ]
 
 
+def _differential_layouts(kernel, mode, seed):
+    """Boot the same image+seed through both controlling principals."""
+    from repro.bzimage.build import build_bzimage
+    from repro.monitor import BootFormat
+
+    bz = build_bzimage(kernel, "none", optimized=True)
+    direct_cfg = VmConfig(kernel=kernel, randomize=mode, seed=seed)
+    loader_cfg = VmConfig(
+        kernel=kernel,
+        boot_format=BootFormat.BZIMAGE,
+        bzimage=bz,
+        randomize=mode,
+        seed=seed,
+    )
+    layouts = []
+    for cfg in (direct_cfg, loader_cfg):
+        vmm = Firecracker(HostStorage(), CostModel(scale=1))
+        vmm.warm_caches(cfg)
+        layouts.append(vmm.boot(cfg).layout)
+    return layouts
+
+
+def test_differential_monitor_vs_loader_kaslr(tiny_kaslr):
+    """Same image + seed: in-monitor and bootstrap paths agree on layout."""
+    direct, loader = _differential_layouts(tiny_kaslr, RandomizeMode.KASLR, 321)
+    assert direct.voffset == loader.voffset
+    assert direct.phys_load == loader.phys_load
+    assert direct.moved == loader.moved
+
+
+def test_differential_monitor_vs_loader_fgkaslr(tiny_fgkaslr):
+    direct, loader = _differential_layouts(
+        tiny_fgkaslr, RandomizeMode.FGKASLR, 654
+    )
+    assert direct.voffset == loader.voffset
+    assert direct.phys_load == loader.phys_load
+    assert direct.moved == loader.moved
+    assert direct.fine_grained and loader.fine_grained
+
+
+def test_differential_cached_parse_matches_cold(tiny_fgkaslr):
+    """The fleet's cached parse path yields the exact cold-path layout."""
+    from repro.monitor import BootArtifactCache
+
+    cfg = VmConfig(
+        kernel=tiny_fgkaslr, randomize=RandomizeMode.FGKASLR, seed=888
+    )
+    cold_vmm = Firecracker(HostStorage(), CostModel(scale=1))
+    cold_vmm.warm_caches(cfg)
+    cold = cold_vmm.boot(cfg)
+
+    cached_vmm = Firecracker(
+        HostStorage(), CostModel(scale=1), artifact_cache=BootArtifactCache()
+    )
+    cached_vmm.warm_caches(cfg)
+    cached_vmm.boot(cfg)  # populate the cache
+    hit = cached_vmm.boot(cfg)  # served from it
+    assert cached_vmm.artifact_cache.stats().hits >= 1
+    assert hit.layout.voffset == cold.layout.voffset
+    assert hit.layout.moved == cold.layout.moved
+    assert hit.layout.phys_load == cold.layout.phys_load
+
+
 def test_vmm_identity_influences_jitter_not_layout(tiny_kaslr, storage):
     """QEMU and Firecracker draw different jitter but identical layouts."""
     from repro.monitor import Qemu
