@@ -7,8 +7,9 @@ PYTHON ?= python3
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
+# mirrors the tier-1 verify command in ROADMAP.md
 test:
-	$(PYTHON) -m pytest tests/
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

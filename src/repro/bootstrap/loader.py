@@ -77,15 +77,34 @@ class BootstrapLoader:
         scale: int = 1,
         bus: PortIoBus | None = None,
     ) -> tuple[LayoutResult, LoadedImage]:
-        """Boot the bzImage; returns the final layout and load info."""
-        header = bzimage.header
+        """Boot the bzImage; returns the final layout and load info.
+
+        The body is a fixed composition of the loader's phases — the boot
+        pipeline (:mod:`repro.pipeline`) runs the same phases as separate
+        instrumented stages.
+        """
         ctx = RandoContext.loader(clock, costs, rng)
+        self.bring_up(bzimage.header, ctx, bus)
+        blob = self.decompress(bzimage, ctx, bus)
+        elf, table = self.parse_payload(bzimage, blob)
+        layout, loaded = self.randomize(
+            elf, table, memory, ctx, mode, guest_ram_bytes=guest_ram_bytes,
+            scale=scale,
+        )
+        self.jump(ctx)
+        return layout, loaded
+
+    # -- the individual phases (Section 3.3's numbered steps) ------------------
+
+    def bring_up(self, header, ctx: RandoContext, bus: PortIoBus | None) -> None:
+        """Step 1b: stack, GDT/IDT, early page tables, .bss, boot heap.
+
+        FGKASLR's heap is up to 8x larger and the zeroing cost shows up in
+        Bootstrap Setup (Section 5.2).
+        """
+        costs = ctx.costs
         if bus is not None:
             bus.write(TRACE_PORT, MILESTONE_LOADER_ENTRY)
-
-        # Step 1b: the loader's own bring-up — stack, GDT/IDT, early page
-        # tables, its .bss, and the boot heap (FGKASLR's is up to 8x larger
-        # and the zeroing cost shows up in Bootstrap Setup; Section 5.2).
         ctx.charge(costs.loader_init(), BootStep.LOADER_INIT, label="loader bring-up")
         ctx.charge(
             costs.loader_pagetable(),
@@ -100,22 +119,28 @@ class BootstrapLoader:
             label=f"zero {header.heap_size} byte boot heap",
         )
 
-        # Step 2: move the compressed payload aside for in-place
-        # decompression (skipped entirely by the optimized layout).
+    def decompress(
+        self, bzimage: BzImage, ctx: RandoContext, bus: PortIoBus | None
+    ) -> bytes:
+        """Steps 2-3: copy the payload aside, then decompress it.
+
+        Both charges vanish under the optimized layout (uncompressed,
+        pre-aligned payload); codec "none" still pays the plain copy.
+        """
+        header = bzimage.header
+        costs = ctx.costs
         if not header.optimized:
             ctx.charge(
                 costs.loader_memcpy_ns(header.payload_size),
                 BootStep.LOADER_COPY_KERNEL,
                 label="copy compressed kernel out of the way",
             )
-
-        # Step 3: decompress (a plain copy for codec "none").
         if bus is not None:
             bus.write(TRACE_PORT, MILESTONE_DECOMPRESS_START)
         codec = get_codec(header.codec)
         blob = codec.decompress(bzimage.payload())
         if not header.optimized:
-            clock.charge(
+            ctx.clock.charge(
                 costs.decompress_ns(header.codec, len(blob)),
                 category=BootCategory.DECOMPRESSION,
                 step=BootStep.LOADER_DECOMPRESS,
@@ -123,7 +148,12 @@ class BootstrapLoader:
             )
         if bus is not None:
             bus.write(TRACE_PORT, MILESTONE_DECOMPRESS_END)
+        return blob
 
+    def parse_payload(
+        self, bzimage: BzImage, blob: bytes
+    ) -> tuple[ElfImage, RelocationTable | None]:
+        """Split the decompressed payload into (vmlinux, relocs table)."""
         vmlinux, relocs_blob = bzimage.split_decompressed(blob)
         try:
             elf = ElfImage(vmlinux)
@@ -132,8 +162,19 @@ class BootstrapLoader:
         table = (
             RelocationTable.decode(relocs_blob) if relocs_blob is not None else None
         )
+        return elf, table
 
-        # Steps 4-5: parse / load / self-randomize / fix tables.
+    def randomize(
+        self,
+        elf: ElfImage,
+        table: RelocationTable | None,
+        memory: GuestMemory,
+        ctx: RandoContext,
+        mode: RandomizeMode,
+        guest_ram_bytes: int,
+        scale: int = 1,
+    ) -> tuple[LayoutResult, LoadedImage]:
+        """Steps 4-5: parse / load / self-randomize / fix tables."""
         randomizer = InMonitorRandomizer(
             policy=self.options.policy,
             lazy_kallsyms=not self.options.kallsyms_fixup,
@@ -142,7 +183,7 @@ class BootstrapLoader:
         # Decompression already wrote the image to its run location, so
         # segment "loading" is in place — no extra bulk copy
         # (charge_load_memcpy stays False for both layouts).
-        layout, loaded = randomizer.run(
+        return randomizer.run(
             elf,
             table,
             memory,
@@ -153,5 +194,8 @@ class BootstrapLoader:
             in_place=True,
         )
 
-        ctx.charge(costs.loader_jump(), BootStep.LOADER_JUMP, label="jump to kernel")
-        return layout, loaded
+    def jump(self, ctx: RandoContext) -> None:
+        """Hand control to ``startup_64``."""
+        ctx.charge(
+            ctx.costs.loader_jump(), BootStep.LOADER_JUMP, label="jump to kernel"
+        )

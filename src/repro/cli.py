@@ -4,6 +4,9 @@ Subcommands::
 
     python -m repro boot    --kernel aws --mode fgkaslr [--format bzimage ...]
     python -m repro fleet   --kernel aws --count 64 --workers 8   # Section 6
+
+``boot`` and ``fleet`` accept ``--json`` (machine-readable report) and
+``--trace`` (per-stage pipeline span table).  Other subcommands::
     python -m repro sizes                     # Table 1
     python -m repro codecs  --kernel lupine   # compression stats
     python -m repro lebench                   # Figure 11 summary
@@ -71,6 +74,9 @@ def _build_cfg(args) -> VmConfig:
 def _cmd_boot(args) -> int:
     vmm = _make_vmm(args)
     cfg = _build_cfg(args)
+    if args.boots > 1 and (args.json or args.trace):
+        print("--json/--trace report a single boot; drop --boots", file=sys.stderr)
+        return 2
     if args.boots > 1:
         series = run_boots(vmm, cfg, n=args.boots, warm=not args.cold)
         print(
@@ -91,7 +97,20 @@ def _cmd_boot(args) -> int:
     else:
         cfg.drop_caches = True
     report = vmm.boot(cfg)
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_json(), indent=2))
+        return 0
     print(report.summary())
+    if args.trace:
+        print(
+            render_table(
+                ["stage", "principal", "start ms", "charged ms", "cache", "detail"],
+                report.stage_rows(),
+                title=f"pipeline stages ({report.vmm_name}, {report.boot_format})",
+            )
+        )
     if args.timeline:
         from repro.analysis import render_timeline
 
@@ -119,7 +138,21 @@ def _cmd_fleet(args) -> int:
     report = manager.launch(
         cfg, args.count, fleet_seed=args.seed, warm=not args.cold
     )
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_json(), indent=2))
+        return 0
     print(report.summary())
+    if args.trace and report.boots:
+        first = report.boots[0].report
+        print(
+            render_table(
+                ["stage", "principal", "start ms", "charged ms", "cache", "detail"],
+                first.stage_rows(),
+                title=f"pipeline stages (boot 0 of {report.n_vms})",
+            )
+        )
     print(
         render_table(
             ["stage", "p50 ms", "p99 ms", "mean ms", "max ms"],
@@ -263,6 +296,10 @@ def build_parser() -> argparse.ArgumentParser:
     boot.add_argument("--qemu", action="store_true", help="QEMU monitor profile")
     boot.add_argument("--timeline", action="store_true",
                       help="render an ASCII Gantt of the boot")
+    boot.add_argument("--json", action="store_true",
+                      help="emit the full boot report as JSON")
+    boot.add_argument("--trace", action="store_true",
+                      help="print the pipeline stage span table")
     boot.set_defaults(func=_cmd_boot)
 
     fleet = sub.add_parser(
@@ -289,6 +326,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="boot-artifact cache capacity")
     fleet.add_argument("--cold", action="store_true",
                        help="skip warm-up (measure cold caches)")
+    fleet.add_argument("--json", action="store_true",
+                       help="emit the full fleet report as JSON")
+    fleet.add_argument("--trace", action="store_true",
+                       help="print the first boot's pipeline stage table")
     fleet.set_defaults(func=_cmd_fleet)
 
     sizes = sub.add_parser("sizes", parents=[common], help="regenerate Table 1")

@@ -108,17 +108,22 @@ class InMonitorRandomizer:
         charge_load_memcpy: bool = False,
         in_place: bool = False,
         from_cache: bool = False,
+        charge_parse: bool = True,
     ) -> tuple[LayoutResult, LoadedImage]:
         """The per-boot randomize phase, fed by a (possibly cached) parse.
 
         ``from_cache=True`` means the parse phase was served by the
         boot-artifact cache: the boot pays a constant probe instead of the
         full section/symbol scan — the amortization that makes per-instance
-        randomization cheap at fleet scale.
+        randomization cheap at fleet scale.  ``charge_parse=False`` skips
+        that charge entirely — the boot pipeline's prepare stage accounts
+        it itself so the cost lands inside the prepare span.
         """
         elf = prepared.elf
         mode = prepared.mode
-        if from_cache:
+        if not charge_parse:
+            pass
+        elif from_cache:
             ctx.charge(
                 ctx.costs.artifact_cache_lookup(),
                 ctx.steps.parse,

@@ -47,6 +47,21 @@ class LayoutResult:
         self._starts = [m[0] for m in self.moved]
         return self
 
+    def clone(self) -> "LayoutResult":
+        """An independent, finalized copy (snapshot restores hand these out)."""
+        return LayoutResult(
+            voffset=self.voffset,
+            phys_load=self.phys_load,
+            link_vbase=self.link_vbase,
+            image_bytes=self.image_bytes,
+            mem_bytes=self.mem_bytes,
+            moved=list(self.moved),
+            entropy_bits_base=self.entropy_bits_base,
+            entropy_bits_fg=self.entropy_bits_fg,
+            kallsyms_fixed=self.kallsyms_fixed,
+            relocs_applied=self.relocs_applied,
+        ).finalize()
+
     @property
     def randomized(self) -> bool:
         return self.voffset != 0 or bool(self.moved)

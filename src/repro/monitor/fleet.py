@@ -28,7 +28,7 @@ from typing import Mapping, Sequence
 
 from repro.errors import MonitorError
 from repro.monitor.artifact_cache import BootArtifactCache, CacheStats
-from repro.monitor.config import BootFormat, VmConfig
+from repro.monitor.config import VmConfig
 from repro.monitor.report import BootReport
 from repro.monitor.vmm import Firecracker
 from repro.simtime.fleetclock import FleetWallClock
@@ -153,6 +153,47 @@ class FleetReport:
             f"/{self.cache.evictions}e ({self.cache.hit_rate * 100:.1f}% hit)"
         )
 
+    def to_json(self) -> dict:
+        """A JSON-serializable view of the launch (``repro fleet --json``)."""
+        return {
+            "kernel": self.kernel_name,
+            "mode": self.mode,
+            "n_vms": self.n_vms,
+            "workers": self.workers,
+            "serial_ms": self.serial_ms,
+            "makespan_ms": self.makespan_ms,
+            "speedup": self.speedup,
+            "rate_per_s": self.rate_per_s,
+            "unique_voffsets": self.unique_voffsets,
+            "unique_layouts": self.unique_layouts,
+            "cache": {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "evictions": self.cache.evictions,
+                "entries": self.cache.entries,
+            },
+            "stages": {
+                name: {
+                    "p50_ms": lat.p50_ms,
+                    "p99_ms": lat.p99_ms,
+                    "mean_ms": lat.mean_ms,
+                    "max_ms": lat.max_ms,
+                }
+                for name, lat in self.stages.items()
+            },
+            "boots": [
+                {
+                    "index": boot.index,
+                    "seed": boot.seed,
+                    "total_ms": boot.total_ms,
+                    "voffset": boot.voffset,
+                    "wall_start_ms": boot.wall_start_ms,
+                    "wall_end_ms": boot.wall_end_ms,
+                }
+                for boot in self.boots
+            ],
+        }
+
     def stage_rows(self) -> list[list[str]]:
         """Table rows (stage, p50, p99, mean, max) for the CLI/benchmarks."""
         return [
@@ -232,14 +273,9 @@ class FleetManager:
         cache = self.vmm.artifact_cache
         assert cache is not None  # installed in __init__
         if warm:
+            # warm_caches primes the host page cache *and* the artifact
+            # cache entry the pipeline's caching stage will probe
             self.vmm.warm_caches(cfg)
-            if cfg.boot_format is BootFormat.VMLINUX:
-                cache.get_or_parse(
-                    cfg.kernel.elf,
-                    cfg.randomize,
-                    cfg.policy,
-                    seed_class=cfg.seed_class,
-                )
         before = cache.stats()
 
         cfgs = [replace(cfg, seed=seed) for seed in seeds]

@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from repro.core.inmonitor import RandomizeMode
 from repro.core.layout_result import LayoutResult
 from repro.kernel.verify import VerificationReport
-from repro.simtime.trace import BootCategory, BootStep, Timeline
+from repro.simtime.trace import BootCategory, BootStep, StageSpan, Timeline
 from repro.vm.portio import PortWrite
 
 
@@ -72,6 +72,64 @@ class BootReport:
     def bootstrap_loader_ms(self) -> float:
         """All time in the bootstrap loader (setup + decompression)."""
         return self.bootstrap_setup_ms + self.decompression_ms
+
+    # -- pipeline stages --------------------------------------------------------
+
+    @property
+    def stages(self) -> list[StageSpan]:
+        """The pipeline's per-stage begin/end spans, in execution order."""
+        return list(self.timeline.spans)
+
+    def stage_rows(self) -> list[list[str]]:
+        """Table rows (stage, principal, start, charged, cache, detail)."""
+        rows = []
+        for span in self.stages:
+            cache = (
+                ""
+                if span.cache_hit is None
+                else ("hit" if span.cache_hit else "miss")
+            )
+            rows.append(
+                [
+                    span.name,
+                    span.principal,
+                    f"{span.start_ns / 1e6:.3f}",
+                    f"{span.charged_ms:.3f}",
+                    cache,
+                    span.detail,
+                ]
+            )
+        return rows
+
+    def to_json(self) -> dict:
+        """A JSON-serializable view of the whole boot (``repro boot --json``)."""
+        return {
+            "vmm": self.vmm_name,
+            "kernel": self.kernel_name,
+            "format": self.boot_format,
+            "mode": str(self.mode),
+            "codec": self.codec,
+            "total_ms": self.total_ms,
+            "cached": self.cached,
+            "mem_mib": self.mem_mib,
+            "scale": self.scale,
+            "breakdown_ms": self.breakdown_ms(),
+            "steps_ms": self.steps_ms(),
+            "stages": [span.to_json() for span in self.stages],
+            "layout": {
+                "randomized": self.layout.randomized,
+                "voffset": self.layout.voffset,
+                "phys_load": self.layout.phys_load,
+                "entropy_bits_base": self.layout.entropy_bits_base,
+                "entropy_bits_fg": self.layout.entropy_bits_fg,
+                "sections_moved": len(self.layout.moved),
+            },
+            "verification": {
+                "functions_checked": self.verification.functions_checked,
+                "sites_checked": self.verification.sites_checked,
+                "kallsyms_checked": self.verification.kallsyms_checked,
+            },
+        }
 
     def summary(self) -> str:
         parts = [

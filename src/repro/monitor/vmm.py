@@ -1,19 +1,26 @@
 """The microVM monitors: Firecracker (and a QEMU profile).
 
-``Firecracker.boot`` runs one complete simulated boot:
+``Firecracker.boot`` runs one complete simulated boot through the staged
+boot pipeline (:mod:`repro.pipeline`):
 
 * monitor startup (process + KVM init),
 * kernel file read through the host page-cache model,
-* direct boot — with optional in-monitor (FG)KASLR — or bzImage boot via
-  the in-guest bootstrap loader,
+* direct boot — with optional in-monitor (FG)KASLR, the parse phase
+  served by the :class:`BootArtifactCache` wrapper stage when present —
+  or bzImage boot via the in-guest bootstrap loader stages,
 * boot_params/cmdline/page-table/vCPU setup per the chosen boot protocol,
 * guest entry, then the guest's own boot (memory init + subsystem init),
 * the post-boot verification oracle (a failed relocation here is the
   simulation's kernel panic).
 
-Every step charges a deterministic simulated clock; the returned
-:class:`~repro.monitor.report.BootReport` carries the same four-way time
-breakdown the paper's figures use.
+Every stage charges a deterministic simulated clock and emits a begin/end
+span; the returned :class:`~repro.monitor.report.BootReport` carries both
+the paper's four-way category breakdown and the per-stage spans.
+
+Monitor variation is stage *substitution*, not subclass override: a
+:class:`MonitorProfile` supplies the constants (and constraints) the
+pipeline builder and stages consume, so :class:`Qemu` and the unikernel
+monitor are profiles over the same pipeline machinery.
 """
 
 from __future__ import annotations
@@ -22,34 +29,18 @@ import random
 import zlib
 from dataclasses import dataclass, replace
 
-from repro.bootstrap.loader import BootstrapLoader
-from repro.core.context import RandoContext
-from repro.core.inmonitor import InMonitorRandomizer, RandomizeMode
-from repro.elf.notes import find_pvh_entry, parse_notes
+from repro.core.inmonitor import RandomizeMode
 from repro.errors import MonitorError
 from repro.host.entropy import HostEntropyPool
 from repro.host.storage import HostStorage
-from repro.kernel import layout as kl
-from repro.kernel.manifest import FUNCTION_PROLOGUE
-from repro.kernel.verify import verify_guest_kernel
-from repro.monitor.addrspace import build_kernel_address_space
 from repro.monitor.artifact_cache import BootArtifactCache
-from repro.monitor.config import BootFormat, BootProtocol, VmConfig
+from repro.monitor.config import BootFormat, VmConfig
 from repro.monitor.report import BootReport
 from repro.monitor.vm_handle import MicroVm
+from repro.pipeline import BootPipeline, StageContext, build_boot_pipeline
 from repro.simtime.clock import SimClock
 from repro.simtime.costs import CostModel, JitterModel
-from repro.simtime.trace import BootCategory, BootStep
-from repro.vm.bootparams import BP_FLAG_IN_MONITOR_KASLR, BootParams
-from repro.vm.cpu import VcpuState
-from repro.vm.memory import GuestMemory
-from repro.vm.pagetable import PageTableWalker
-from repro.vm.portio import (
-    MILESTONE_INIT_RUN,
-    MILESTONE_KERNEL_ENTRY,
-    TRACE_PORT,
-    PortIoBus,
-)
+from repro.vm.portio import PortIoBus
 
 
 @dataclass(frozen=True)
@@ -61,6 +52,8 @@ class MonitorProfile:
     startup_ns: float | None = None
     #: overrides CostModel.vmm_guest_entry_ns when set
     guest_entry_ns: float | None = None
+    #: monitors without a bootstrap loader can only compose direct boots
+    direct_only: bool = False
 
 
 FIRECRACKER_PROFILE = MonitorProfile(name="firecracker")
@@ -117,7 +110,12 @@ class Firecracker:
             self.storage.put(cfg.relocs_file_name(), cfg.kernel.relocs)
 
     def warm_caches(self, cfg: VmConfig) -> None:
-        """Model the 5 warm-up boots the paper runs before measuring."""
+        """Model the 5 warm-up boots the paper runs before measuring.
+
+        Warms the host page cache, and — when this monitor carries a
+        :class:`BootArtifactCache` — primes the parse entry the caching
+        stage will probe, so the first measured boot is already a hit.
+        """
         self.register_kernel(cfg)
         self.storage.warm(cfg.kernel_file_name())
         if (
@@ -125,11 +123,25 @@ class Firecracker:
             and cfg.randomize is not RandomizeMode.NONE
         ):
             self.storage.warm(cfg.relocs_file_name())
+        if (
+            self.artifact_cache is not None
+            and cfg.boot_format is BootFormat.VMLINUX
+        ):
+            self.artifact_cache.get_or_parse(
+                cfg.kernel.elf,
+                cfg.randomize,
+                cfg.policy,
+                seed_class=cfg.seed_class,
+            )
 
     def boot(self, cfg: VmConfig) -> BootReport:
         """Run one boot start-to-init; raises on any contract violation."""
         report, _vm = self.boot_vm(cfg)
         return report
+
+    def build_pipeline(self, cfg: VmConfig) -> BootPipeline:
+        """The stage composition this monitor uses for ``cfg``."""
+        return build_boot_pipeline(cfg, direct_only=self.profile.direct_only)
 
     def boot_vm(self, cfg: VmConfig) -> tuple[BootReport, "MicroVm"]:
         """Like :meth:`boot`, but also returns a live guest handle."""
@@ -140,31 +152,25 @@ class Firecracker:
         cached = self.storage.is_cached(cfg.kernel_file_name())
 
         seed = cfg.seed if cfg.seed is not None else self.entropy.draw_u64()
-        rng = random.Random(seed)
         # Distinct per-boot measurement noise, deterministic in the seed.
         # A per-boot clone keeps concurrent boots off one shared jitter RNG.
         costs = self._boot_costs(cfg, seed)
 
         clock = SimClock()
-        bus = PortIoBus(clock)
-        clock.charge(
-            self._startup_ns(costs),
-            category=BootCategory.IN_MONITOR,
-            step=BootStep.MONITOR_STARTUP,
-            label=f"{self.profile.name} startup",
+        ctx = StageContext(
+            clock=clock,
+            costs=costs,
+            rng=random.Random(seed),
+            cfg=cfg,
+            storage=self.storage,
+            entropy=self.entropy,
+            artifact_cache=self.artifact_cache,
+            bus=PortIoBus(clock),
+            vmm_name=self.profile.name,
+            startup_override_ns=self.profile.startup_ns,
+            guest_entry_override_ns=self.profile.guest_entry_ns,
         )
-        memory = GuestMemory(cfg.mem_bytes)
-
-        if cfg.boot_format is BootFormat.VMLINUX:
-            layout, loaded = self._direct_boot(cfg, memory, clock, rng, costs)
-        else:
-            layout, loaded = self._bzimage_boot(cfg, memory, clock, rng, bus, costs)
-
-        walker, pt_bytes = self._finish_setup(
-            cfg, memory, clock, layout, loaded.mem_bytes, costs
-        )
-        self._enter_guest(cfg, clock, bus, walker, layout, costs)
-        verification = self._run_guest(cfg, memory, clock, bus, walker, layout, costs)
+        self.build_pipeline(cfg).run(ctx)
 
         codec = (
             cfg.bzimage.header.codec
@@ -179,26 +185,26 @@ class Firecracker:
             codec=codec,
             total_ms=clock.elapsed_ms(),
             timeline=clock.timeline,
-            layout=layout,
-            verification=verification,
-            milestones=bus.milestones(),
+            layout=ctx.layout,
+            verification=ctx.verification,
+            milestones=ctx.bus.milestones(),
             mem_mib=cfg.mem_mib,
             cached=cached,
             scale=cfg.kernel.scale,
         )
         vm = MicroVm(
             kernel=cfg.kernel,
-            memory=memory,
-            walker=walker,
-            layout=layout,
+            memory=ctx.memory,
+            walker=ctx.walker,
+            layout=ctx.layout,
             clock=clock,
             costs=costs,
-            bus=bus,
-            pt_tables_bytes=pt_bytes,
+            bus=ctx.bus,
+            pt_tables_bytes=ctx.pt_tables_bytes,
         )
         return report, vm
 
-    # -- boot paths --------------------------------------------------------------
+    # -- per-boot plumbing -----------------------------------------------------
 
     def _boot_costs(self, cfg, seed) -> CostModel:
         """A per-boot :class:`CostModel` with its own seeded jitter stream.
@@ -213,186 +219,6 @@ class Firecracker:
             jitter=JitterModel(sigma=self.costs.jitter.sigma, seed=jseed),
             decompress_mib_s=dict(self.costs.decompress_mib_s),
         )
-
-    def _direct_boot(self, cfg, memory, clock, rng, costs):
-        data = self.storage.read(cfg.kernel_file_name(), clock, costs)
-        relocs = None
-        if cfg.randomize is not RandomizeMode.NONE:
-            self.storage.read(cfg.relocs_file_name(), clock, costs)
-            relocs = cfg.kernel.reloc_table
-        elf = cfg.kernel.elf
-        if data != cfg.kernel.vmlinux:
-            raise MonitorError("host storage returned a different kernel image")
-        randomizer = InMonitorRandomizer(
-            policy=cfg.policy,
-            lazy_kallsyms=cfg.lazy_kallsyms,
-            update_orc=cfg.update_orc,
-        )
-        ctx = RandoContext.monitor(clock, costs, rng)
-        if self.artifact_cache is not None:
-            prepared, hit = self.artifact_cache.get_or_parse(
-                elf, cfg.randomize, cfg.policy, seed_class=cfg.seed_class
-            )
-            return randomizer.run_prepared(
-                prepared,
-                relocs,
-                memory,
-                ctx,
-                guest_ram_bytes=cfg.mem_bytes,
-                scale=cfg.kernel.scale,
-                from_cache=hit,
-            )
-        return randomizer.run(
-            elf,
-            relocs,
-            memory,
-            ctx,
-            cfg.randomize,
-            guest_ram_bytes=cfg.mem_bytes,
-            scale=cfg.kernel.scale,
-        )
-
-    def _bzimage_boot(self, cfg, memory, clock, rng, bus, costs):
-        assert cfg.bzimage is not None
-        data = self.storage.read(cfg.kernel_file_name(), clock, costs)
-        if data != cfg.bzimage.data:
-            raise MonitorError("host storage returned a different bzImage")
-        end = kl.BZIMAGE_LOAD_ADDR + len(data)
-        if end > kl.PHYS_LOAD_ADDR:
-            raise MonitorError(
-                f"bzImage of {len(data)} bytes overlaps the kernel load "
-                f"address; increase the build scale"
-            )
-        memory.write(kl.BZIMAGE_LOAD_ADDR, data)
-        loader = BootstrapLoader(cfg.loader_options)
-        return loader.run(
-            cfg.bzimage,
-            memory,
-            clock,
-            costs,
-            rng,
-            cfg.randomize,
-            guest_ram_bytes=cfg.mem_bytes,
-            scale=cfg.kernel.scale,
-            bus=bus,
-        )
-
-    # -- shared tail --------------------------------------------------------------
-
-    def _finish_setup(self, cfg, memory, clock, layout, kernel_mem_bytes, costs):
-        params = BootParams(cmdline_ptr=kl.CMDLINE_ADDR)
-        params.add_e820(0, cfg.mem_bytes)
-        if cfg.initrd:
-            # Linux convention: the initrd sits near the top of low RAM.
-            initrd_addr = (cfg.mem_bytes - len(cfg.initrd)) & ~0xFFF
-            end = layout.phys_load + kernel_mem_bytes
-            if initrd_addr <= end:
-                raise MonitorError(
-                    f"initrd of {len(cfg.initrd)} bytes does not fit above "
-                    f"the kernel in {cfg.mem_mib} MiB of RAM"
-                )
-            memory.write(initrd_addr, cfg.initrd)
-            params.initrd_ptr = initrd_addr
-            params.initrd_size = len(cfg.initrd)
-            clock.charge(
-                costs.memcpy_ns(len(cfg.initrd)),
-                category=BootCategory.IN_MONITOR,
-                step=BootStep.MONITOR_IMAGE_READ,
-                label=f"load initrd ({len(cfg.initrd)} bytes)",
-            )
-        if layout.randomized and cfg.boot_format is BootFormat.VMLINUX:
-            params.flags |= BP_FLAG_IN_MONITOR_KASLR
-            params.kaslr_virt_offset = layout.voffset
-        memory.write(kl.CMDLINE_ADDR, cfg.effective_cmdline.encode() + b"\x00")
-        memory.write(kl.BOOT_PARAMS_ADDR, params.pack())
-        clock.charge(
-            costs.vmm_boot_params(),
-            category=BootCategory.IN_MONITOR,
-            step=BootStep.MONITOR_BOOT_PARAMS,
-            label="boot_params + cmdline",
-        )
-        builder = build_kernel_address_space(memory, layout, kernel_mem_bytes)
-        clock.charge(
-            costs.vmm_pagetable_ns(kernel_mem_bytes),
-            category=BootCategory.IN_MONITOR,
-            step=BootStep.MONITOR_PAGETABLE,
-            label="early page tables",
-        )
-        return PageTableWalker(memory, builder.pml4), builder.tables_bytes
-
-    def _enter_guest(self, cfg, clock, bus, walker, layout, costs):
-        vcpu = VcpuState()
-        if cfg.boot_protocol is BootProtocol.PVH:
-            notes = parse_notes(cfg.kernel.elf.section(".notes").data)
-            entry_paddr = find_pvh_entry(notes)
-            if entry_paddr is None:
-                raise MonitorError("PVH boot requested but kernel has no PVH note")
-            vcpu.setup_protected_mode()
-            vcpu.rbx = kl.BOOT_PARAMS_ADDR
-            vcpu.rip = entry_paddr + (layout.phys_load - kl.PHYS_LOAD_ADDR)
-        else:
-            vcpu.setup_long_mode(cr3=walker.cr3)
-            vcpu.rsi = kl.BOOT_PARAMS_ADDR
-            vcpu.rip = layout.entry_vaddr
-            problems = vcpu.validate_linux64_entry()
-            if problems:
-                raise MonitorError(
-                    "64-bit boot protocol contract violated: " + "; ".join(problems)
-                )
-        clock.charge(
-            self._guest_entry_ns(costs),
-            category=BootCategory.IN_MONITOR,
-            step=BootStep.MONITOR_GUEST_ENTRY,
-            label="KVM_RUN",
-        )
-        # The guest fetches its first instruction: prove the entry mapping.
-        if cfg.boot_protocol is BootProtocol.PVH:
-            first = walker.memory.read(vcpu.rip, len(FUNCTION_PROLOGUE))
-        else:
-            first = walker.read_virt(vcpu.rip, len(FUNCTION_PROLOGUE))
-        if first != FUNCTION_PROLOGUE:
-            raise MonitorError(
-                f"guest entry at {vcpu.rip:#x} does not hold startup code"
-            )
-        bus.write(TRACE_PORT, MILESTONE_KERNEL_ENTRY)
-
-    def _run_guest(self, cfg, memory, clock, bus, walker, layout, costs):
-        mem_ns, base_ns = costs.kernel_boot_ns(
-            cfg.kernel.config.linux_boot_base_ms, cfg.mem_mib
-        )
-        clock.charge(
-            mem_ns,
-            category=BootCategory.LINUX_BOOT,
-            step=BootStep.KERNEL_MEM_INIT,
-            label=f"memblock/struct-page init for {cfg.mem_mib} MiB",
-        )
-        clock.charge(
-            base_ns,
-            category=BootCategory.LINUX_BOOT,
-            step=BootStep.KERNEL_INIT,
-            label="kernel subsystem init",
-        )
-        verification = verify_guest_kernel(memory, walker, layout, cfg.kernel.manifest)
-        clock.charge(
-            0,
-            category=BootCategory.LINUX_BOOT,
-            step=BootStep.KERNEL_RUN_INIT,
-            label="exec /sbin/init",
-        )
-        bus.write(TRACE_PORT, MILESTONE_INIT_RUN)
-        return verification
-
-    # -- profile plumbing ------------------------------------------------------------
-
-    def _startup_ns(self, costs) -> float:
-        if self.profile.startup_ns is not None:
-            return self.profile.startup_ns * costs.jitter.factor()
-        return costs.vmm_startup()
-
-    def _guest_entry_ns(self, costs) -> float:
-        if self.profile.guest_entry_ns is not None:
-            return self.profile.guest_entry_ns * costs.jitter.factor()
-        return costs.vmm_guest_entry()
 
 
 class Qemu(Firecracker):

@@ -1,0 +1,37 @@
+"""The staged boot pipeline.
+
+Boot flavors are compositions of :class:`~repro.pipeline.stage.BootStage`
+objects over a shared :class:`~repro.pipeline.stage.StageContext`; the
+:class:`~repro.pipeline.pipeline.BootPipeline` composer executes them and
+emits per-stage begin/end spans into the boot's timeline.  All monitors
+(Firecracker, Qemu, UnikernelMonitor), the fleet manager, and snapshot
+restore boot through pipelines built here.
+"""
+
+from repro.pipeline.pipeline import (
+    BootPipeline,
+    build_boot_pipeline,
+    build_restore_pipeline,
+)
+from repro.pipeline.stage import (
+    PRINCIPAL_GUEST,
+    PRINCIPAL_KERNEL,
+    PRINCIPAL_MONITOR,
+    BootStage,
+    Stage,
+    StageContext,
+    StageResult,
+)
+
+__all__ = [
+    "BootPipeline",
+    "BootStage",
+    "PRINCIPAL_GUEST",
+    "PRINCIPAL_KERNEL",
+    "PRINCIPAL_MONITOR",
+    "Stage",
+    "StageContext",
+    "StageResult",
+    "build_boot_pipeline",
+    "build_restore_pipeline",
+]

@@ -1,0 +1,139 @@
+"""The BootPipeline composer and per-flavor pipeline builders.
+
+A :class:`BootPipeline` is an ordered list of stages plus the machinery
+that runs them: each stage executes against the shared
+:class:`~repro.pipeline.stage.StageContext`, and the pipeline brackets it
+with a begin/end :class:`~repro.simtime.trace.StageSpan` on the boot's
+timeline — charged nanoseconds, executing principal, and cache-hit
+attribution included.
+
+Builders assemble the stage list per boot flavor (Figure 5/7's columns):
+
+* ``direct``   — in-monitor (FG)KASLR over a vmlinux: startup, image
+  read, cached prepare, randomize+load, then the shared tail;
+* ``bzimage``  — bootstrap self-randomization: startup, container read,
+  loader bring-up, decompress, self-randomize, jump, shared tail;
+* ``restore``  — snapshot restore (optionally rebased to a fresh offset).
+
+Unikernel monitors run the ``direct`` pipeline; asking one for a bzImage
+is a build-time error because the flavor has no loader stages to compose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import MonitorError
+from repro.pipeline.stage import BootStage, StageContext
+from repro.pipeline.stages import (
+    ArtifactCacheStage,
+    BootParamsStage,
+    BzImageReadStage,
+    GuestBootStage,
+    GuestEntryStage,
+    KernelImageReadStage,
+    LoaderBringUpStage,
+    LoaderDecompressStage,
+    LoaderJumpStage,
+    LoaderRandomizeStage,
+    MonitorStartupStage,
+    PageTableStage,
+    PrepareImageStage,
+    RandomizeLoadStage,
+    RebaseStage,
+    SnapshotRestoreStage,
+)
+from repro.simtime.trace import StageSpan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.monitor.config import VmConfig
+
+
+@dataclass(frozen=True)
+class BootPipeline:
+    """An ordered, instrumented composition of boot stages."""
+
+    name: str
+    stages: tuple[BootStage, ...]
+
+    def run(self, ctx: StageContext) -> StageContext:
+        """Execute every stage in order, spanning each on the timeline."""
+        for stage in self.stages:
+            start_ns = ctx.clock.now_ns
+            result = stage.run(ctx)
+            ctx.clock.timeline.add_span(
+                StageSpan(
+                    name=result.stage,
+                    category=result.category,
+                    principal=result.principal,
+                    start_ns=start_ns,
+                    end_ns=ctx.clock.now_ns,
+                    cache_hit=result.cache_hit,
+                    detail=result.detail,
+                )
+            )
+            ctx.results.append(result)
+        return ctx
+
+    def stage_names(self) -> list[str]:
+        return [stage.name for stage in self.stages]
+
+
+def _shared_tail() -> list[BootStage]:
+    return [
+        BootParamsStage(),
+        PageTableStage(),
+        GuestEntryStage(),
+        GuestBootStage(),
+    ]
+
+
+def build_boot_pipeline(cfg: "VmConfig", direct_only: bool = False) -> BootPipeline:
+    """Assemble the stage list for one :class:`VmConfig`.
+
+    ``direct_only`` is the unikernel-monitor constraint: no bootstrap
+    loader exists in that world, so a bzImage flavor cannot be composed.
+    """
+    # lazy: repro.monitor imports repro.pipeline (cycle guard, see stages)
+    from repro.monitor.config import BootFormat
+
+    if cfg.boot_format is BootFormat.BZIMAGE:
+        if direct_only:
+            raise MonitorError(
+                "unikernel monitors have no bootstrap loader; "
+                "only direct image boot is supported"
+            )
+        return BootPipeline(
+            name="bzimage",
+            stages=(
+                MonitorStartupStage(),
+                BzImageReadStage(),
+                LoaderBringUpStage(),
+                LoaderDecompressStage(),
+                LoaderRandomizeStage(),
+                LoaderJumpStage(),
+                *_shared_tail(),
+            ),
+        )
+    return BootPipeline(
+        name=f"direct-{cfg.randomize}",
+        stages=(
+            MonitorStartupStage(),
+            KernelImageReadStage(),
+            ArtifactCacheStage(PrepareImageStage()),
+            RandomizeLoadStage(),
+            *_shared_tail(),
+        ),
+    )
+
+
+def build_restore_pipeline(rebase: bool = False) -> BootPipeline:
+    """Assemble the snapshot-restore flavor (zygote acquisitions)."""
+    stages: list[BootStage] = [SnapshotRestoreStage()]
+    if rebase:
+        stages.append(RebaseStage())
+    return BootPipeline(
+        name="restore-rebase" if rebase else "restore",
+        stages=tuple(stages),
+    )

@@ -74,6 +74,52 @@ class BootStep(enum.Enum):
 
 
 @dataclass(frozen=True)
+class StageSpan:
+    """One pipeline stage's begin/end window on the simulated clock.
+
+    Emitted by :class:`~repro.pipeline.BootPipeline` around every stage it
+    executes.  Spans sit *above* :class:`TraceEvent`: a span covers every
+    fine-grained charge the stage made, and carries the attribution the
+    per-stage reports need — the executing principal, and whether a cache
+    served the stage.
+    """
+
+    #: stage name (see :mod:`repro.pipeline.stages`)
+    name: str
+    #: coarse stage family: "monitor_setup", "image_read", "prepare",
+    #: "randomize", "bootstrap", "decompression", "vm_setup",
+    #: "guest_entry", "linux_boot", "restore", "rebase"
+    category: str
+    #: who executed the stage: "monitor", "guest", or "kernel"
+    principal: str
+    start_ns: int
+    end_ns: int
+    #: True/False when a cache answered/missed; None when not applicable
+    cache_hit: bool | None = None
+    detail: str = ""
+
+    @property
+    def charged_ns(self) -> int:
+        """Simulated nanoseconds charged while the stage ran."""
+        return self.end_ns - self.start_ns
+
+    @property
+    def charged_ms(self) -> float:
+        return self.charged_ns / 1e6
+
+    def to_json(self) -> dict:
+        return {
+            "stage": self.name,
+            "category": self.category,
+            "principal": self.principal,
+            "start_ms": self.start_ns / 1e6,
+            "charged_ms": self.charged_ms,
+            "cache_hit": self.cache_hit,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
 class TraceEvent:
     """One charged operation on the simulated clock."""
 
@@ -90,9 +136,15 @@ class TraceEvent:
 
 @dataclass
 class Timeline:
-    """An append-only sequence of :class:`TraceEvent` for one boot."""
+    """An append-only sequence of :class:`TraceEvent` for one boot.
+
+    Alongside the fine-grained events, a timeline records the
+    :class:`StageSpan` windows of the boot pipeline that produced them, so
+    reports can present both views over one source of truth.
+    """
 
     events: list[TraceEvent] = field(default_factory=list)
+    spans: list[StageSpan] = field(default_factory=list)
 
     def append(self, event: TraceEvent) -> None:
         if self.events and event.start_ns < self.events[-1].end_ns:
@@ -101,6 +153,27 @@ class Timeline:
                 f"{event.start_ns} < {self.events[-1].end_ns}"
             )
         self.events.append(event)
+
+    def add_span(self, span: StageSpan) -> None:
+        """Record a pipeline-stage window; spans must not run backwards."""
+        if span.end_ns < span.start_ns:
+            raise ValueError(
+                f"stage span {span.name!r} ends before it starts: "
+                f"{span.end_ns} < {span.start_ns}"
+            )
+        if self.spans and span.start_ns < self.spans[-1].end_ns:
+            raise ValueError(
+                "stage spans must be appended in simulated-time order: "
+                f"{span.start_ns} < {self.spans[-1].end_ns}"
+            )
+        self.spans.append(span)
+
+    def span_totals_ns(self) -> dict[str, int]:
+        """Charged ns per stage name, in first-run order."""
+        totals: dict[str, int] = {}
+        for span in self.spans:
+            totals[span.name] = totals.get(span.name, 0) + span.charged_ns
+        return totals
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self.events)

@@ -6,10 +6,13 @@ throughput), restore creates a new VM whose memory is a chunk-granular
 copy-on-write clone of the frozen image (a millisecond-scale constant plus
 per-MiB mapping cost — orders of magnitude cheaper than a boot).
 
-``restore_rebased`` additionally gives the clone a *fresh* KASLR offset by
-applying the offset delta through the relocation table and rebuilding the
-early page tables — cheap re-randomization that only an in-monitor design
-can offer, since the monitor is the party holding ``vmlinux.relocs``.
+Restores execute through the staged boot pipeline
+(:func:`repro.pipeline.build_restore_pipeline`): plain restore is the
+single ``snapshot_restore`` stage; ``restore_rebased`` appends the
+``rebase`` stage, which gives the clone a *fresh* KASLR offset by applying
+the offset delta through the relocation table and rebuilding the early
+page tables — cheap re-randomization that only an in-monitor design can
+offer, since the monitor is the party holding ``vmlinux.relocs``.
 """
 
 from __future__ import annotations
@@ -18,38 +21,15 @@ import random
 import threading
 from dataclasses import dataclass, field
 
-from repro.core.context import RandoContext
 from repro.core.layout_result import LayoutResult
 from repro.core.policy import RandomizationPolicy
-from repro.core.rerandomize import Rerandomizer
 from repro.errors import MonitorError
-from repro.kernel import layout as kl
 from repro.kernel.image import KernelImage
-from repro.monitor.addrspace import build_kernel_address_space
 from repro.monitor.vm_handle import MicroVm
+from repro.pipeline import StageContext, build_restore_pipeline
 from repro.simtime.clock import SimClock
 from repro.simtime.costs import CostModel
 from repro.simtime.trace import BootCategory, BootStep
-from repro.vm.bootparams import BootParams
-from repro.vm.memory import GuestMemory
-from repro.vm.pagetable import PageTableWalker
-from repro.vm.portio import PortIoBus
-
-
-def _copy_layout(layout: LayoutResult) -> LayoutResult:
-    clone = LayoutResult(
-        voffset=layout.voffset,
-        phys_load=layout.phys_load,
-        link_vbase=layout.link_vbase,
-        image_bytes=layout.image_bytes,
-        mem_bytes=layout.mem_bytes,
-        moved=list(layout.moved),
-        entropy_bits_base=layout.entropy_bits_base,
-        entropy_bits_fg=layout.entropy_bits_fg,
-        kallsyms_fixed=layout.kallsyms_fixed,
-        relocs_applied=layout.relocs_applied,
-    )
-    return clone.finalize()
 
 
 @dataclass
@@ -75,7 +55,7 @@ class Snapshot:
 
 @dataclass
 class SnapshotManager:
-    """Captures snapshots and restores CoW clones."""
+    """Captures snapshots and restores CoW clones via the restore pipeline."""
 
     costs: CostModel
     policy: RandomizationPolicy = field(default_factory=RandomizationPolicy)
@@ -93,7 +73,7 @@ class SnapshotManager:
         return Snapshot(
             kernel=vm.kernel,
             frozen=vm.memory.freeze(),
-            layout=_copy_layout(vm.layout),
+            layout=vm.layout.clone(),
             mem_size=vm.memory.size,
             resident_bytes=resident,
             cr3=vm.walker.cr3,
@@ -105,27 +85,7 @@ class SnapshotManager:
 
     def restore(self, snapshot: Snapshot) -> tuple[MicroVm, float]:
         """Restore a CoW clone; returns (vm, restore latency in ms)."""
-        clock = SimClock()
-        clock.charge(
-            self.costs.snapshot_restore_ns(snapshot.resident_bytes),
-            category=BootCategory.IN_MONITOR,
-            step=BootStep.MONITOR_STARTUP,
-            label="snapshot restore (CoW)",
-        )
-        memory = GuestMemory(snapshot.mem_size, base=dict(snapshot.frozen))
-        vm = MicroVm(
-            kernel=snapshot.kernel,
-            memory=memory,
-            walker=PageTableWalker(memory, snapshot.cr3),
-            layout=_copy_layout(snapshot.layout),
-            clock=clock,
-            costs=self.costs,
-            bus=PortIoBus(clock),
-            pt_tables_bytes=snapshot.pt_tables_bytes,
-        )
-        with snapshot._lock:
-            snapshot._restores += 1
-        return vm, clock.elapsed_ms()
+        return self._run_restore(snapshot, rebase=False, seed=0)
 
     def restore_rebased(
         self, snapshot: Snapshot, seed: int
@@ -138,23 +98,26 @@ class SnapshotManager:
         image.  Only valid for base-KASLR guests (see
         :mod:`repro.core.rerandomize`).
         """
-        relocs = snapshot.kernel.reloc_table
-        if relocs is None:
+        # Validate before charging anything: a reloc-less kernel must fail
+        # without touching the clock or the restore counter.
+        if snapshot.kernel.reloc_table is None:
             raise MonitorError(
                 f"{snapshot.kernel.name} carries no relocation info; "
                 "cannot rebase a restored clone"
             )
-        vm, _ = self.restore(snapshot)
-        ctx = RandoContext.monitor(vm.clock, self.costs, random.Random(seed))
-        Rerandomizer(self.policy).rebase(vm.memory, vm.layout, relocs, ctx)
-        self._refresh_address_space(vm)
-        return vm, vm.clock.elapsed_ms()
+        return self._run_restore(snapshot, rebase=True, seed=seed)
 
-    @staticmethod
-    def _refresh_address_space(vm: MicroVm) -> None:
-        builder = build_kernel_address_space(vm.memory, vm.layout, vm.layout.mem_bytes)
-        vm.walker = PageTableWalker(vm.memory, builder.pml4)
-        vm.pt_tables_bytes = builder.tables_bytes
-        params = BootParams.unpack(vm.memory.read(kl.BOOT_PARAMS_ADDR, 4096))
-        params.kaslr_virt_offset = vm.layout.voffset
-        vm.memory.write(kl.BOOT_PARAMS_ADDR, params.pack())
+    def _run_restore(
+        self, snapshot: Snapshot, rebase: bool, seed: int
+    ) -> tuple[MicroVm, float]:
+        ctx = StageContext(
+            clock=SimClock(),
+            costs=self.costs,
+            rng=random.Random(seed),
+            snapshot=snapshot,
+            policy=self.policy,
+        )
+        build_restore_pipeline(rebase=rebase).run(ctx)
+        with snapshot._lock:
+            snapshot._restores += 1
+        return ctx.vm, ctx.clock.elapsed_ms()

@@ -11,6 +11,10 @@ Section 7's landscape, made executable:
 * ``rebase``  — one zygote, each clone rebased to a fresh offset at
   restore time (unbounded layout diversity at near-restore latency; needs
   the monitor to hold the relocation table, i.e. in-monitor KASLR).
+
+Acquisitions run through the staged restore pipeline
+(:func:`repro.pipeline.build_restore_pipeline`): a ``snapshot_restore``
+stage, plus a ``rebase`` stage under the ``rebase`` policy.
 """
 
 from __future__ import annotations

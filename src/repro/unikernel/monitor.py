@@ -5,21 +5,21 @@ philosophy — the monitor sets up page tables and hands control straight to
 the guest's entry point; "in the most extreme case, all bootstrapping can
 be eliminated".  The profile here strips Firecracker's device-model
 startup down to the sub-millisecond shell a unikernel monitor carries, and
-refuses bzImage boots (there is no bootstrap loader in this world).
+is marked ``direct_only``: the pipeline builder refuses to compose the
+bzImage flavor because there is no bootstrap loader in this world.  No
+method override needed — the variation is entirely profile + stage
+composition.
 """
 
 from __future__ import annotations
 
-from repro.errors import MonitorError
-from repro.monitor.config import BootFormat, VmConfig
-from repro.monitor.report import BootReport
-from repro.monitor.vm_handle import MicroVm
 from repro.monitor.vmm import Firecracker, MonitorProfile
 
 UNIKERNEL_PROFILE = MonitorProfile(
     name="ukvm",
     startup_ns=350_000.0,  # tiny static monitor, no device model to build
     guest_entry_ns=60_000.0,
+    direct_only=True,
 )
 
 
@@ -27,11 +27,3 @@ class UnikernelMonitor(Firecracker):
     """ukvm/solo5-style monitor: direct entry only, minimal shell."""
 
     profile = UNIKERNEL_PROFILE
-
-    def boot_vm(self, cfg: VmConfig) -> tuple[BootReport, MicroVm]:
-        if cfg.boot_format is not BootFormat.VMLINUX:
-            raise MonitorError(
-                "unikernel monitors have no bootstrap loader; "
-                "only direct image boot is supported"
-            )
-        return super().boot_vm(cfg)

@@ -53,6 +53,72 @@ def test_boot_pvh(capsys):
     ) == 0
 
 
+def test_boot_json(capsys):
+    assert main(["boot", "--kernel", "tiny", "--scale", "1", "--json"]) == 0
+    import json
+
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["vmm"] == "firecracker"
+    assert payload["mode"] == "kaslr"
+    assert payload["layout"]["randomized"] is True
+    assert payload["total_ms"] > 0
+    stages = [span["stage"] for span in payload["stages"]]
+    assert stages[0] == "monitor_startup"
+    assert "linux_boot" in stages
+    assert payload["breakdown_ms"]["linux_boot"] > 0
+
+
+def test_boot_trace(capsys):
+    assert main(["boot", "--kernel", "tiny", "--scale", "1", "--trace"]) == 0
+    out = capsys.readouterr().out
+    assert "pipeline stages" in out
+    for stage in ("monitor_startup", "prepare_image", "randomize_load",
+                  "guest_entry", "linux_boot"):
+        assert stage in out
+
+
+def test_boot_trace_bzimage_shows_loader_stages(capsys):
+    code = main(
+        ["boot", "--kernel", "tiny", "--scale", "1", "--format", "bzimage",
+         "--codec", "lz4", "--trace"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    for stage in ("loader_bringup", "decompress", "self_randomize",
+                  "loader_jump"):
+        assert stage in out
+
+
+def test_boot_json_rejects_series(capsys):
+    assert main(
+        ["boot", "--kernel", "tiny", "--scale", "1", "--boots", "3", "--json"]
+    ) == 2
+
+
+def test_fleet_json(capsys):
+    assert main(
+        ["fleet", "--kernel", "tiny", "--scale", "1", "--count", "3",
+         "--workers", "2", "--json"]
+    ) == 0
+    import json
+
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["n_vms"] == 3
+    assert payload["cache"]["hits"] == 3
+    assert len(payload["boots"]) == 3
+    assert payload["stages"]["total"]["p50_ms"] > 0
+
+
+def test_fleet_trace(capsys):
+    assert main(
+        ["fleet", "--kernel", "tiny", "--scale", "1", "--count", "2",
+         "--workers", "2", "--trace"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "pipeline stages" in out
+    assert "randomize_load" in out
+
+
 def test_codecs(capsys):
     assert main(["codecs", "--kernel", "tiny", "--scale", "1"]) == 0
     out = capsys.readouterr().out

@@ -1,0 +1,365 @@
+"""The staged boot pipeline: builders, spans, caching stage, profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.artifacts import get_bzimage, get_kernel
+from repro.errors import MonitorError
+from repro.host import HostStorage
+from repro.kernel import TINY, KernelVariant
+from repro.monitor import (
+    BootArtifactCache,
+    BootFormat,
+    Firecracker,
+    Qemu,
+    VmConfig,
+)
+from repro.core import RandomizeMode
+from repro.pipeline import (
+    BootPipeline,
+    BootStage,
+    build_boot_pipeline,
+    build_restore_pipeline,
+)
+from repro.simtime import CostModel
+from repro.simtime.trace import StageSpan, Timeline
+from repro.unikernel import UnikernelMonitor
+
+DIRECT_STAGES = [
+    "monitor_startup",
+    "image_read",
+    "prepare_image",
+    "randomize_load",
+    "boot_params",
+    "page_tables",
+    "guest_entry",
+    "linux_boot",
+]
+
+BZIMAGE_STAGES = [
+    "monitor_startup",
+    "image_read",
+    "loader_bringup",
+    "decompress",
+    "self_randomize",
+    "loader_jump",
+    "boot_params",
+    "page_tables",
+    "guest_entry",
+    "linux_boot",
+]
+
+
+def _cfg(kernel, **kwargs) -> VmConfig:
+    return VmConfig(kernel=kernel, **kwargs)
+
+
+# -- builders ------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "mode",
+    [RandomizeMode.NONE, RandomizeMode.KASLR, RandomizeMode.FGKASLR],
+)
+def test_direct_pipeline_stage_names(tiny_kaslr, mode):
+    pipeline = build_boot_pipeline(_cfg(tiny_kaslr, randomize=mode, seed=1))
+    assert pipeline.stage_names() == DIRECT_STAGES
+    assert pipeline.name == f"direct-{mode}"
+
+
+def test_bzimage_pipeline_stage_names(tiny_kaslr):
+    bz = get_bzimage(TINY, KernelVariant.KASLR, "lz4", scale=1, seed=3)
+    cfg = _cfg(
+        tiny_kaslr,
+        boot_format=BootFormat.BZIMAGE,
+        bzimage=bz,
+        randomize=RandomizeMode.KASLR,
+        seed=1,
+    )
+    pipeline = build_boot_pipeline(cfg)
+    assert pipeline.stage_names() == BZIMAGE_STAGES
+    assert pipeline.name == "bzimage"
+
+
+def test_restore_pipeline_stage_names():
+    assert build_restore_pipeline().stage_names() == ["snapshot_restore"]
+    assert build_restore_pipeline(rebase=True).stage_names() == [
+        "snapshot_restore",
+        "rebase",
+    ]
+
+
+def test_direct_only_rejects_bzimage(tiny_kaslr):
+    bz = get_bzimage(TINY, KernelVariant.KASLR, "lz4", scale=1, seed=3)
+    cfg = _cfg(
+        tiny_kaslr,
+        boot_format=BootFormat.BZIMAGE,
+        bzimage=bz,
+        randomize=RandomizeMode.KASLR,
+        seed=1,
+    )
+    with pytest.raises(MonitorError, match="no bootstrap loader"):
+        build_boot_pipeline(cfg, direct_only=True)
+
+
+def test_every_stage_satisfies_the_protocol(tiny_kaslr):
+    pipeline = build_boot_pipeline(_cfg(tiny_kaslr, randomize=RandomizeMode.KASLR))
+    for stage in pipeline.stages:
+        assert isinstance(stage, BootStage)
+
+
+def test_monitors_compose_not_override():
+    """Variation is stage substitution: no monitor overrides boot_vm."""
+    for cls in (Qemu, UnikernelMonitor):
+        assert "boot_vm" not in cls.__dict__
+        assert "boot" not in cls.__dict__
+    assert UnikernelMonitor.profile.direct_only is True
+    assert Qemu.profile.direct_only is False
+
+
+def test_unikernel_monitor_rejects_bzimage_at_boot(storage):
+    kernel = get_kernel(TINY, KernelVariant.KASLR, scale=1, seed=3)
+    bz = get_bzimage(TINY, KernelVariant.KASLR, "lz4", scale=1, seed=3)
+    mon = UnikernelMonitor(storage, CostModel(scale=1))
+    cfg = _cfg(
+        kernel,
+        boot_format=BootFormat.BZIMAGE,
+        bzimage=bz,
+        randomize=RandomizeMode.KASLR,
+        seed=1,
+    )
+    with pytest.raises(MonitorError, match="no bootstrap loader"):
+        mon.boot(cfg)
+
+
+# -- spans ---------------------------------------------------------------------
+
+
+def _boot_report(monitor_cls, storage, kernel, **cfg_kwargs):
+    mon = monitor_cls(storage, CostModel(scale=1))
+    cfg = _cfg(kernel, **cfg_kwargs)
+    mon.warm_caches(cfg)
+    return mon.boot(cfg)
+
+
+def test_spans_cover_the_whole_boot(storage, tiny_kaslr):
+    report = _boot_report(
+        Firecracker, storage, tiny_kaslr, randomize=RandomizeMode.KASLR, seed=5
+    )
+    spans = report.timeline.spans
+    assert [s.name for s in spans] == DIRECT_STAGES
+    # contiguous, ordered, and covering every charged nanosecond
+    assert spans[0].start_ns == 0
+    for left, right in zip(spans, spans[1:]):
+        assert left.end_ns == right.start_ns
+    assert spans[-1].end_ns == report.timeline.total_ns
+    assert sum(s.charged_ns for s in spans) == report.timeline.total_ns
+
+
+def test_span_principals(storage, tiny_kaslr):
+    bz = get_bzimage(TINY, KernelVariant.KASLR, "lz4", scale=1, seed=3)
+    report = _boot_report(
+        Firecracker,
+        storage,
+        tiny_kaslr,
+        boot_format=BootFormat.BZIMAGE,
+        bzimage=bz,
+        randomize=RandomizeMode.KASLR,
+        seed=5,
+    )
+    by_name = {s.name: s for s in report.timeline.spans}
+    assert by_name["monitor_startup"].principal == "monitor"
+    assert by_name["loader_bringup"].principal == "guest"
+    assert by_name["decompress"].principal == "guest"
+    assert by_name["self_randomize"].principal == "guest"
+    assert by_name["linux_boot"].principal == "kernel"
+
+
+def test_timeline_rejects_unordered_spans():
+    timeline = Timeline()
+    timeline.add_span(
+        StageSpan(name="a", category="x", principal="monitor",
+                  start_ns=0, end_ns=10)
+    )
+    with pytest.raises(ValueError):
+        timeline.add_span(
+            StageSpan(name="b", category="x", principal="monitor",
+                      start_ns=5, end_ns=20)
+        )
+
+
+def test_span_totals_by_stage(storage, tiny_kaslr):
+    report = _boot_report(
+        Firecracker, storage, tiny_kaslr, randomize=RandomizeMode.KASLR, seed=5
+    )
+    totals = report.timeline.span_totals_ns()
+    assert totals["linux_boot"] > 0
+    assert sum(totals.values()) == report.timeline.total_ns
+
+
+# -- the caching stage ---------------------------------------------------------
+
+
+def test_cache_miss_then_hit_attribution(tiny_kaslr):
+    cache = BootArtifactCache()
+    mon = Firecracker(HostStorage(), CostModel(scale=1), artifact_cache=cache)
+    cfg = _cfg(tiny_kaslr, randomize=RandomizeMode.KASLR, seed=5)
+    mon.register_kernel(cfg)
+    mon.storage.warm(cfg.kernel_file_name())
+    mon.storage.warm(cfg.relocs_file_name())
+
+    first = mon.boot(cfg)
+    span = next(s for s in first.timeline.spans if s.name == "prepare_image")
+    assert span.cache_hit is False
+    assert cache.stats().misses == 1
+
+    second = mon.boot(cfg)
+    span = next(s for s in second.timeline.spans if s.name == "prepare_image")
+    assert span.cache_hit is True
+    assert cache.stats().hits == 1
+    # attribution only; the boots are otherwise identical
+    assert second.layout.voffset == first.layout.voffset
+
+
+def test_cache_hit_is_cheaper_than_parse(tiny_fgkaslr):
+    cache = BootArtifactCache()
+    mon = Firecracker(HostStorage(), CostModel(scale=1), artifact_cache=cache)
+    cfg = _cfg(tiny_fgkaslr, randomize=RandomizeMode.FGKASLR, seed=5)
+    mon.register_kernel(cfg)
+    mon.storage.warm(cfg.kernel_file_name())
+    mon.storage.warm(cfg.relocs_file_name())
+    cold = next(
+        s for s in mon.boot(cfg).timeline.spans if s.name == "prepare_image"
+    )
+    warm = next(
+        s for s in mon.boot(cfg).timeline.spans if s.name == "prepare_image"
+    )
+    assert warm.charged_ns < cold.charged_ns
+
+
+def test_no_cache_means_no_attribution(storage, tiny_kaslr):
+    report = _boot_report(
+        Firecracker, storage, tiny_kaslr, randomize=RandomizeMode.KASLR, seed=5
+    )
+    span = next(s for s in report.timeline.spans if s.name == "prepare_image")
+    assert span.cache_hit is None
+
+
+def test_warm_caches_primes_the_artifact_cache(tiny_kaslr):
+    """Satellite: warm_caches -> the first measured boot is already a hit."""
+    cache = BootArtifactCache()
+    mon = Firecracker(HostStorage(), CostModel(scale=1), artifact_cache=cache)
+    cfg = _cfg(tiny_kaslr, randomize=RandomizeMode.KASLR, seed=5)
+    mon.warm_caches(cfg)
+    stats = cache.stats()
+    assert stats.misses == 1 and stats.entries == 1
+
+    report = mon.boot(cfg)
+    span = next(s for s in report.timeline.spans if s.name == "prepare_image")
+    assert span.cache_hit is True
+    after = cache.stats()
+    assert after.hits == 1 and after.misses == 1
+
+
+def test_warm_caches_without_cache_is_harmless(storage, tiny_kaslr):
+    mon = Firecracker(storage, CostModel(scale=1))
+    cfg = _cfg(tiny_kaslr, randomize=RandomizeMode.KASLR, seed=5)
+    mon.warm_caches(cfg)
+    assert mon.boot(cfg).total_ms > 0
+
+
+# -- restore spans -------------------------------------------------------------
+
+
+def test_restore_spans(storage, tiny_kaslr):
+    from repro.snapshot import SnapshotManager
+
+    mon = Firecracker(storage, CostModel(scale=1))
+    cfg = _cfg(tiny_kaslr, randomize=RandomizeMode.KASLR, seed=5)
+    mon.warm_caches(cfg)
+    _report, vm = mon.boot_vm(cfg)
+    manager = SnapshotManager(CostModel(scale=1))
+    snapshot = manager.capture(vm)
+
+    restored, _latency = manager.restore(snapshot)
+    spans = restored.clock.timeline.spans
+    assert [s.name for s in spans] == ["snapshot_restore"]
+    assert spans[0].cache_hit is True
+
+    rebased, _latency = manager.restore_rebased(snapshot, seed=9)
+    assert [s.name for s in rebased.clock.timeline.spans] == [
+        "snapshot_restore",
+        "rebase",
+    ]
+
+
+# -- report surfaces -----------------------------------------------------------
+
+
+def test_boot_report_to_json(storage, tiny_fgkaslr):
+    report = _boot_report(
+        Firecracker, storage, tiny_fgkaslr, randomize=RandomizeMode.FGKASLR, seed=5
+    )
+    payload = report.to_json()
+    assert payload["vmm"] == "firecracker"
+    assert payload["mode"] == "fgkaslr"
+    assert payload["layout"]["randomized"] is True
+    assert payload["layout"]["sections_moved"] > 0
+    assert [s["stage"] for s in payload["stages"]] == DIRECT_STAGES
+    assert payload["total_ms"] == pytest.approx(
+        sum(s["charged_ms"] for s in payload["stages"])
+    )
+    import json
+
+    json.dumps(payload)  # must be serializable as-is
+
+
+def test_boot_report_stage_rows(storage, tiny_kaslr):
+    report = _boot_report(
+        Firecracker, storage, tiny_kaslr, randomize=RandomizeMode.KASLR, seed=5
+    )
+    rows = report.stage_rows()
+    assert [row[0] for row in rows] == DIRECT_STAGES
+    assert all(len(row) == 6 for row in rows)
+
+
+def test_fleet_report_to_json(tiny_kaslr):
+    from repro.monitor import FleetManager
+
+    mon = Firecracker(HostStorage(), CostModel(scale=1))
+    manager = FleetManager(mon, workers=2)
+    cfg = _cfg(tiny_kaslr, randomize=RandomizeMode.KASLR)
+    fleet = manager.launch(cfg, 4, fleet_seed=3)
+    payload = fleet.to_json()
+    assert payload["n_vms"] == 4
+    assert payload["cache"]["hits"] == 4
+    assert len(payload["boots"]) == 4
+    assert payload["stages"]["total"]["max_ms"] >= payload["stages"]["total"]["p50_ms"]
+    import json
+
+    json.dumps(payload)
+
+
+# -- custom composition --------------------------------------------------------
+
+
+def test_custom_pipeline_composition(storage, tiny_kaslr):
+    """A caller can assemble its own stage list — composition is open."""
+    mon = Firecracker(storage, CostModel(scale=1))
+    base = mon.build_pipeline(_cfg(tiny_kaslr, randomize=RandomizeMode.KASLR))
+
+    class NullStage:
+        name = "null"
+        category = "monitor_setup"
+        principal = "monitor"
+
+        def run(self, ctx):
+            from repro.pipeline import StageResult
+
+            return StageResult(
+                stage=self.name, category=self.category, principal=self.principal
+            )
+
+    custom = BootPipeline(name="custom", stages=(NullStage(), *base.stages))
+    assert custom.stage_names() == ["null", *DIRECT_STAGES]
