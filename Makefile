@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-paper fleet-bench examples clean
+.PHONY: install test metrics-smoke bench bench-paper fleet-bench examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -10,6 +10,10 @@ install:
 # mirrors the tier-1 verify command in ROADMAP.md
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# boot + small fleet, export prometheus/chrome/json telemetry, validate
+metrics-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.tools.metrics_smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

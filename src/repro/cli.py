@@ -4,9 +4,14 @@ Subcommands::
 
     python -m repro boot    --kernel aws --mode fgkaslr [--format bzimage ...]
     python -m repro fleet   --kernel aws --count 64 --workers 8   # Section 6
+    python -m repro metrics --kernel aws --vms 4                  # Prometheus
 
 ``boot`` and ``fleet`` accept ``--json`` (machine-readable report) and
-``--trace`` (per-stage pipeline span table).  Other subcommands::
+``--trace`` (per-stage pipeline span table), plus the telemetry exports:
+``--metrics`` (Prometheus text to stdout) and
+``--trace-export {chrome,json,prometheus} [--trace-out trace.json]``
+(Chrome ``trace_event`` JSON loads in Perfetto / ``chrome://tracing``).
+Other subcommands::
     python -m repro sizes                     # Table 1
     python -m repro codecs  --kernel lupine   # compression stats
     python -m repro lebench                   # Figure 11 summary
@@ -18,6 +23,7 @@ All times are simulated milliseconds at paper scale (see DESIGN.md §7).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -29,6 +35,12 @@ from repro.host import HostStorage
 from repro.kernel import PRESETS, KernelVariant
 from repro.monitor import BootFormat, BootProtocol, Firecracker, Qemu, VmConfig
 from repro.simtime import CostModel, JitterModel
+from repro.telemetry import (
+    Telemetry,
+    to_chrome_trace,
+    to_json_dump,
+    to_prometheus,
+)
 
 _MODE_VARIANT = {
     RandomizeMode.NONE: KernelVariant.NOKASLR,
@@ -37,10 +49,36 @@ _MODE_VARIANT = {
 }
 
 
-def _make_vmm(args) -> Firecracker:
+def _make_vmm(args, telemetry: Telemetry | None = None) -> Firecracker:
     costs = CostModel(scale=args.scale, jitter=JitterModel(sigma=args.jitter))
     cls = Qemu if getattr(args, "qemu", False) else Firecracker
-    return cls(HostStorage(), costs)
+    return cls(HostStorage(), costs, telemetry=telemetry)
+
+
+def _render_export(telemetry: Telemetry, fmt: str) -> str:
+    """One telemetry snapshot, serialized byte-stably in ``fmt``."""
+    snapshot = telemetry.snapshot()
+    if fmt == "prometheus":
+        return to_prometheus(snapshot)
+    if fmt == "chrome":
+        obj = to_chrome_trace(snapshot)
+    else:
+        obj = to_json_dump(snapshot)
+    return json.dumps(obj, indent=2, sort_keys=True) + "\n"
+
+
+def _emit_telemetry(args, telemetry: Telemetry) -> None:
+    """Honor ``--metrics`` and ``--trace-export``/``--trace-out``."""
+    if getattr(args, "metrics", False):
+        sys.stdout.write(to_prometheus(telemetry.snapshot()))
+    fmt = getattr(args, "trace_export", None)
+    if fmt:
+        content = _render_export(telemetry, fmt)
+        if args.trace_out == "-":
+            sys.stdout.write(content)
+        else:
+            with open(args.trace_out, "w", encoding="utf-8") as fh:
+                fh.write(content)
 
 
 def _build_cfg(args) -> VmConfig:
@@ -72,7 +110,8 @@ def _build_cfg(args) -> VmConfig:
 
 
 def _cmd_boot(args) -> int:
-    vmm = _make_vmm(args)
+    telemetry = Telemetry()
+    vmm = _make_vmm(args, telemetry=telemetry)
     cfg = _build_cfg(args)
     if args.boots > 1 and (args.json or args.trace):
         print("--json/--trace report a single boot; drop --boots", file=sys.stderr)
@@ -91,6 +130,7 @@ def _cmd_boot(args) -> int:
                 f"({'cold' if args.cold else 'cached'})",
             )
         )
+        _emit_telemetry(args, telemetry)
         return 0
     if not args.cold:
         vmm.warm_caches(cfg)
@@ -98,9 +138,8 @@ def _cmd_boot(args) -> int:
         cfg.drop_caches = True
     report = vmm.boot(cfg)
     if args.json:
-        import json
-
         print(json.dumps(report.to_json(), indent=2))
+        _emit_telemetry(args, telemetry)
         return 0
     print(report.summary())
     if args.trace:
@@ -124,24 +163,33 @@ def _cmd_boot(args) -> int:
               f"({layout.total_entropy_bits:.1f} bits of entropy)")
     print(f"  verified {report.verification.functions_checked} functions / "
           f"{report.verification.sites_checked} relocation sites")
+    _emit_telemetry(args, telemetry)
     return 0
 
 
-def _cmd_fleet(args) -> int:
+def _run_fleet(args):
+    """Launch one seeded fleet; returns ``(report, telemetry)``."""
     from repro.monitor import BootArtifactCache, FleetManager
 
-    vmm = _make_vmm(args)
-    vmm.artifact_cache = BootArtifactCache(max_entries=args.cache_entries)
+    telemetry = Telemetry()
+    vmm = _make_vmm(args, telemetry=telemetry)
+    vmm.artifact_cache = BootArtifactCache(
+        max_entries=args.cache_entries, registry=telemetry.registry
+    )
     cfg = _build_cfg(args)
     cfg.seed = None  # per-instance seeds come from the fleet manager
     manager = FleetManager(vmm, workers=args.workers)
     report = manager.launch(
         cfg, args.count, fleet_seed=args.seed, warm=not args.cold
     )
-    if args.json:
-        import json
+    return report, telemetry
 
+
+def _cmd_fleet(args) -> int:
+    report, telemetry = _run_fleet(args)
+    if args.json:
         print(json.dumps(report.to_json(), indent=2))
+        _emit_telemetry(args, telemetry)
         return 0
     print(report.summary())
     if args.trace and report.boots:
@@ -163,6 +211,14 @@ def _cmd_fleet(args) -> int:
     print(
         f"  {report.unique_layouts} distinct layouts across {report.n_vms} VMs"
     )
+    _emit_telemetry(args, telemetry)
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    """Run one seeded fleet and print its Prometheus metrics text."""
+    _report, telemetry = _run_fleet(args)
+    sys.stdout.write(to_prometheus(telemetry.snapshot()))
     return 0
 
 
@@ -265,6 +321,40 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--metrics", action="store_true",
+                        help="print Prometheus metrics text after the report")
+    parser.add_argument("--trace-export",
+                        choices=["chrome", "json", "prometheus"],
+                        help="export the telemetry snapshot in this format")
+    parser.add_argument("--trace-out", default="-", metavar="PATH",
+                        help="trace export destination ('-' = stdout)")
+
+
+def _add_fleet_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--kernel", choices=sorted(PRESETS), default="aws")
+    parser.add_argument("--mode", choices=[m.value for m in RandomizeMode],
+                        default="fgkaslr")
+    parser.add_argument("--format", choices=["vmlinux", "bzimage"],
+                        default="vmlinux")
+    parser.add_argument("--codec", default="lz4")
+    parser.add_argument("--optimized", action="store_true",
+                        help="compression-none-optimized bzImage layout")
+    parser.add_argument("--protocol", choices=[p.value for p in BootProtocol],
+                        default="linux64")
+    parser.add_argument("--mem", type=int, default=256, help="guest MiB")
+    parser.add_argument("--count", "--vms", dest="count", type=int, default=64,
+                        help="fleet size")
+    parser.add_argument("--workers", type=int, default=8,
+                        help="concurrent boot slots")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="fleet seed (per-VM seeds derive from it)")
+    parser.add_argument("--cache-entries", type=int, default=64,
+                        help="boot-artifact cache capacity")
+    parser.add_argument("--cold", action="store_true",
+                        help="skip warm-up (measure cold caches)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument("--scale", type=int, default=16,
@@ -300,37 +390,27 @@ def build_parser() -> argparse.ArgumentParser:
                       help="emit the full boot report as JSON")
     boot.add_argument("--trace", action="store_true",
                       help="print the pipeline stage span table")
+    _add_telemetry_flags(boot)
     boot.set_defaults(func=_cmd_boot)
 
     fleet = sub.add_parser(
         "fleet", parents=[common],
         help="boot a fleet through the artifact cache (Section 6)",
     )
-    fleet.add_argument("--kernel", choices=sorted(PRESETS), default="aws")
-    fleet.add_argument("--mode", choices=[m.value for m in RandomizeMode],
-                       default="fgkaslr")
-    fleet.add_argument("--format", choices=["vmlinux", "bzimage"],
-                       default="vmlinux")
-    fleet.add_argument("--codec", default="lz4")
-    fleet.add_argument("--optimized", action="store_true",
-                       help="compression-none-optimized bzImage layout")
-    fleet.add_argument("--protocol", choices=[p.value for p in BootProtocol],
-                       default="linux64")
-    fleet.add_argument("--mem", type=int, default=256, help="guest MiB")
-    fleet.add_argument("--count", type=int, default=64, help="fleet size")
-    fleet.add_argument("--workers", type=int, default=8,
-                       help="concurrent boot slots")
-    fleet.add_argument("--seed", type=int, default=1,
-                       help="fleet seed (per-VM seeds derive from it)")
-    fleet.add_argument("--cache-entries", type=int, default=64,
-                       help="boot-artifact cache capacity")
-    fleet.add_argument("--cold", action="store_true",
-                       help="skip warm-up (measure cold caches)")
+    _add_fleet_options(fleet)
     fleet.add_argument("--json", action="store_true",
                        help="emit the full fleet report as JSON")
     fleet.add_argument("--trace", action="store_true",
                        help="print the first boot's pipeline stage table")
+    _add_telemetry_flags(fleet)
     fleet.set_defaults(func=_cmd_fleet)
+
+    metrics = sub.add_parser(
+        "metrics", parents=[common],
+        help="run a seeded fleet and print Prometheus metrics text",
+    )
+    _add_fleet_options(metrics)
+    metrics.set_defaults(func=_cmd_metrics, count=4, workers=4)
 
     sizes = sub.add_parser("sizes", parents=[common], help="regenerate Table 1")
     sizes.set_defaults(func=_cmd_sizes)

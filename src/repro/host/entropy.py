@@ -11,6 +11,10 @@ from __future__ import annotations
 
 import random
 import threading
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import MetricsRegistry
 
 
 class HostEntropyPool:
@@ -19,13 +23,27 @@ class HostEntropyPool:
     Draws are serialized by a lock: a long-running host pool is shared by
     every monitor thread booting fleet instances, and ``draws`` / the RNG
     stream must stay consistent under that concurrency.
+
+    Every draw also increments ``repro_entropy_draws_total`` on the given
+    metrics registry (the process-wide default when none is injected), so
+    fleet launches can attribute randomness consumption.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(
+        self, seed: int = 0, registry: "MetricsRegistry | None" = None
+    ) -> None:
         self._seed = seed
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
         self.draws = 0
+        # bound once: the counter itself is thread-safe
+        if registry is None:
+            from repro.telemetry import get_telemetry
+
+            registry = get_telemetry().registry
+        self._draw_counter = registry.counter(
+            "repro_entropy_draws_total", help="Host entropy pool draws"
+        )
 
     @property
     def seed(self) -> int:
@@ -37,6 +55,7 @@ class HostEntropyPool:
             self._rng = random.Random(seed)
 
     def draw_u64(self) -> int:
+        self._draw_counter.inc()
         with self._lock:
             self.draws += 1
             return self._rng.getrandbits(64)
@@ -45,12 +64,14 @@ class HostEntropyPool:
         """Uniform integer in [0, n); counts as one pool draw."""
         if n <= 0:
             raise ValueError(f"randrange bound must be positive: {n}")
+        self._draw_counter.inc()
         with self._lock:
             self.draws += 1
             return self._rng.randrange(n)
 
     def shuffle_rng(self) -> random.Random:
         """A child RNG for Fisher-Yates shuffles; counts as one seed draw."""
+        self._draw_counter.inc()
         with self._lock:
             self.draws += 1
             return random.Random(self._rng.getrandbits(64))

@@ -32,6 +32,7 @@ from repro.core.inmonitor import RandomizeMode
 from repro.core.policy import RandomizationPolicy
 from repro.core.prepared import PreparedImage, image_digest, prepare_image
 from repro.elf.reader import ElfImage
+from repro.telemetry import MetricsRegistry, get_telemetry
 
 #: seed class for fleets where every instance draws its own seed
 SEED_CLASS_PER_VM = "per-vm"
@@ -75,7 +76,9 @@ class CacheStats:
 class BootArtifactCache:
     """Bounded LRU over :class:`PreparedImage` parse products."""
 
-    def __init__(self, max_entries: int = 64) -> None:
+    def __init__(
+        self, max_entries: int = 64, registry: MetricsRegistry | None = None
+    ) -> None:
         if max_entries < 1:
             raise ValueError(f"cache needs at least one entry, got {max_entries}")
         self.max_entries = max_entries
@@ -84,6 +87,30 @@ class BootArtifactCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._registry = registry
+
+    def _metrics(self) -> MetricsRegistry:
+        # resolved per operation so a scoped telemetry sees cache traffic
+        # from caches built before the scope was installed
+        return self._registry if self._registry is not None else get_telemetry().registry
+
+    def _record(self, *, hits: int = 0, misses: int = 0, evictions: int = 0) -> None:
+        registry = self._metrics()
+        if hits:
+            registry.counter(
+                "repro_cache_hits_total", help="Boot-artifact cache hits"
+            ).inc(hits)
+        if misses:
+            registry.counter(
+                "repro_cache_misses_total", help="Boot-artifact cache misses"
+            ).inc(misses)
+        if evictions:
+            registry.counter(
+                "repro_cache_evictions_total", help="Boot-artifact cache evictions"
+            ).inc(evictions)
+        registry.gauge(
+            "repro_cache_entries", help="Boot-artifact cache occupancy"
+        ).set(len(self._entries))
 
     # -- raw access ----------------------------------------------------------
 
@@ -93,23 +120,28 @@ class BootArtifactCache:
             prepared = self._entries.get(key)
             if prepared is None:
                 self._misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self._hits += 1
-            return prepared
+            else:
+                self._entries.move_to_end(key)
+                self._hits += 1
+        self._record(hits=prepared is not None, misses=prepared is None)
+        return prepared
 
     def insert(self, key: CacheKey, prepared: PreparedImage) -> None:
         """Add (or refresh) an entry, evicting LRU entries past the bound."""
         with self._lock:
             self._entries[key] = prepared
             self._entries.move_to_end(key)
+            evicted = 0
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+                evicted += 1
+        self._record(evictions=evicted)
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+        self._record()
 
     # -- the fleet-facing API --------------------------------------------------
 

@@ -14,13 +14,19 @@ clock and cost-model clone, and the aggregate wall clock admits boots in
 fleet-index order — so neither results nor timings depend on which Python
 thread finished first.
 
+Every launch also feeds the telemetry layer (:mod:`repro.telemetry`):
+per-boot wall windows land in the boot-event log (one Chrome-trace track
+per worker), and the fleet counters/histograms
+(``repro_fleet_boots_total``, ``repro_boot_duration_ms``, rate and
+makespan gauges) are what later perf PRs read their evidence from.
+
 This module must not import :mod:`repro.analysis` (which itself imports
-``repro.monitor``); the percentile helper therefore lives here.
+``repro.monitor``); the shared percentile/latency helpers live in the
+dependency-free :mod:`repro.telemetry.stats`.
 """
 
 from __future__ import annotations
 
-import math
 import random
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
@@ -30,9 +36,20 @@ from repro.errors import MonitorError
 from repro.monitor.artifact_cache import BootArtifactCache, CacheStats
 from repro.monitor.config import VmConfig
 from repro.monitor.report import BootReport
-from repro.monitor.vmm import Firecracker
+from repro.monitor.vmm import Firecracker, boot_identity
 from repro.simtime.fleetclock import FleetWallClock
 from repro.simtime.trace import BootStep
+from repro.telemetry import Telemetry, get_telemetry
+from repro.telemetry.stats import StageLatency, latency_summary, percentile
+
+__all__ = [
+    "FLEET_STAGES",
+    "FleetBoot",
+    "FleetManager",
+    "FleetReport",
+    "StageLatency",
+    "percentile",
+]
 
 #: per-boot stage buckets over the fine-grained trace steps; "total" is
 #: added separately so every report always carries at least one stage
@@ -71,28 +88,6 @@ FLEET_STAGES: dict[str, tuple[BootStep, ...]] = {
 }
 
 
-def percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile (the paper's p50/p99 convention)."""
-    if not 0 < q <= 100:
-        raise ValueError(f"percentile must be in (0, 100], got {q}")
-    ordered = sorted(values)
-    if not ordered:
-        return 0.0
-    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
-    return ordered[rank - 1]
-
-
-@dataclass(frozen=True)
-class StageLatency:
-    """Latency distribution of one boot stage across the fleet (ms)."""
-
-    stage: str
-    p50_ms: float
-    p99_ms: float
-    mean_ms: float
-    max_ms: float
-
-
 @dataclass(frozen=True)
 class FleetBoot:
     """One instance of the fleet: its boot outcome and wall-clock window."""
@@ -104,6 +99,12 @@ class FleetBoot:
     wall_start_ms: float
     wall_end_ms: float
     report: BootReport
+    #: which fleet worker slot the wall-clock model scheduled this boot on
+    worker: int = 0
+
+    @property
+    def boot_id(self) -> str:
+        return boot_identity(self.report.kernel_name, self.seed)
 
 
 @dataclass(frozen=True)
@@ -171,6 +172,8 @@ class FleetReport:
                 "misses": self.cache.misses,
                 "evictions": self.cache.evictions,
                 "entries": self.cache.entries,
+                "lookups": self.cache.lookups,
+                "hit_rate": self.cache.hit_rate,
             },
             "stages": {
                 name: {
@@ -189,6 +192,7 @@ class FleetReport:
                     "voffset": boot.voffset,
                     "wall_start_ms": boot.wall_start_ms,
                     "wall_end_ms": boot.wall_end_ms,
+                    "worker": boot.worker,
                 }
                 for boot in self.boots
             ],
@@ -215,19 +219,9 @@ def _stage_latencies(reports: Sequence[BootReport]) -> dict[str, StageLatency]:
         samples = [sum(t.get(s, 0) for s in steps) / 1e6 for t in totals]
         if not any(samples):
             continue  # stage never ran (e.g. loader stages on a vmlinux fleet)
-        stages[stage] = _latency(stage, samples)
-    stages["total"] = _latency("total", [r.total_ms for r in reports])
+        stages[stage] = latency_summary(stage, samples)
+    stages["total"] = latency_summary("total", [r.total_ms for r in reports])
     return stages
-
-
-def _latency(stage: str, samples: Sequence[float]) -> StageLatency:
-    return StageLatency(
-        stage=stage,
-        p50_ms=percentile(samples, 50),
-        p99_ms=percentile(samples, 99),
-        mean_ms=sum(samples) / len(samples),
-        max_ms=max(samples),
-    )
 
 
 class FleetManager:
@@ -237,13 +231,27 @@ class FleetManager:
     hold one — a fleet is exactly the workload the cache exists for.
     """
 
-    def __init__(self, vmm: Firecracker, workers: int = 8) -> None:
+    def __init__(
+        self,
+        vmm: Firecracker,
+        workers: int = 8,
+        telemetry: Telemetry | None = None,
+    ) -> None:
         if workers < 1:
             raise MonitorError(f"fleet needs at least one worker, got {workers}")
         self.vmm = vmm
         self.workers = workers
+        self.telemetry = telemetry
         if vmm.artifact_cache is None:
             vmm.artifact_cache = BootArtifactCache()
+
+    def _telemetry(self) -> Telemetry:
+        """Scoping: the fleet's own, else the monitor's, else the default."""
+        if self.telemetry is not None:
+            return self.telemetry
+        if self.vmm.telemetry is not None:
+            return self.vmm.telemetry
+        return get_telemetry()
 
     def launch(
         self,
@@ -283,21 +291,45 @@ class FleetManager:
             reports = list(pool.map(self.vmm.boot, cfgs))
         after = cache.stats()
 
+        telemetry = self._telemetry()
         wall = FleetWallClock(self.workers)
         boots = []
         for index, (seed, report) in enumerate(zip(seeds, reports)):
-            start_ns, end_ns = wall.admit(report.timeline.total_ns)
+            window = wall.schedule(report.timeline.total_ns)
             boots.append(
                 FleetBoot(
                     index=index,
                     seed=seed,
                     total_ms=report.total_ms,
                     voffset=report.layout.voffset,
-                    wall_start_ms=start_ns / 1e6,
-                    wall_end_ms=end_ns / 1e6,
+                    wall_start_ms=window.start_ns / 1e6,
+                    wall_end_ms=window.end_ns / 1e6,
                     report=report,
+                    worker=window.worker,
                 )
             )
+            # fleet-index order, after the parallel section: the telemetry
+            # feed is deterministic regardless of thread scheduling
+            telemetry.boot_window(
+                boot_identity(cfg.kernel.name, seed),
+                worker=window.worker,
+                start_ns=window.start_ns,
+                duration_ns=window.duration_ns,
+                detail=f"fleet index {index}",
+            )
+            telemetry.registry.counter(
+                "repro_fleet_boots_total", help="Boots launched by fleets"
+            ).inc()
+        telemetry.registry.counter(
+            "repro_fleet_launches_total", help="Fleet launches"
+        ).inc()
+        telemetry.registry.gauge(
+            "repro_fleet_makespan_ms", help="Wall-clock makespan of the last fleet"
+        ).set(wall.makespan_ms)
+        telemetry.registry.gauge(
+            "repro_fleet_rate_vms_per_s",
+            help="Instantiation rate of the last fleet",
+        ).set(count / (wall.makespan_ms / 1e3) if wall.makespan_ms else 0.0)
         return FleetReport(
             kernel_name=cfg.kernel.name,
             mode=str(cfg.randomize),

@@ -40,7 +40,17 @@ from repro.monitor.vm_handle import MicroVm
 from repro.pipeline import BootPipeline, StageContext, build_boot_pipeline
 from repro.simtime.clock import SimClock
 from repro.simtime.costs import CostModel, JitterModel
+from repro.telemetry import NS_PER_MS, Telemetry, get_telemetry
 from repro.vm.portio import PortIoBus
+
+
+def boot_identity(kernel_name: str, seed: int) -> str:
+    """The boot id telemetry events carry: ``<kernel>:<seed hex>``.
+
+    Deterministic in (kernel, seed), so seeded fleet runs produce the
+    same ids — and therefore the same exported traces — every time.
+    """
+    return f"{kernel_name}:{seed:016x}"
 
 
 @dataclass(frozen=True)
@@ -81,10 +91,15 @@ class Firecracker:
         costs: CostModel | None = None,
         entropy: HostEntropyPool | None = None,
         artifact_cache: BootArtifactCache | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.storage = storage
         self.costs = costs if costs is not None else CostModel()
-        self.entropy = entropy if entropy is not None else HostEntropyPool()
+        self.telemetry = telemetry
+        if entropy is None:
+            registry = telemetry.registry if telemetry is not None else None
+            entropy = HostEntropyPool(registry=registry)
+        self.entropy = entropy
         self.artifact_cache = artifact_cache
 
     # -- public API ------------------------------------------------------------
@@ -156,6 +171,7 @@ class Firecracker:
         # A per-boot clone keeps concurrent boots off one shared jitter RNG.
         costs = self._boot_costs(cfg, seed)
 
+        telemetry = self.telemetry if self.telemetry is not None else get_telemetry()
         clock = SimClock()
         ctx = StageContext(
             clock=clock,
@@ -169,8 +185,21 @@ class Firecracker:
             vmm_name=self.profile.name,
             startup_override_ns=self.profile.startup_ns,
             guest_entry_override_ns=self.profile.guest_entry_ns,
+            telemetry=telemetry,
+            boot_id=boot_identity(cfg.kernel.name, seed),
         )
         self.build_pipeline(cfg).run(ctx)
+
+        telemetry.registry.counter(
+            "repro_monitor_boots_total",
+            help="Boots completed by a monitor",
+            vmm=self.profile.name,
+        ).inc()
+        telemetry.registry.histogram(
+            "repro_boot_duration_ms",
+            help="End-to-end simulated boot duration",
+            scale=NS_PER_MS,
+        ).observe(clock.now_ns)
 
         codec = (
             cfg.bzimage.header.codec

@@ -62,17 +62,18 @@ class BootPipeline:
         for stage in self.stages:
             start_ns = ctx.clock.now_ns
             result = stage.run(ctx)
-            ctx.clock.timeline.add_span(
-                StageSpan(
-                    name=result.stage,
-                    category=result.category,
-                    principal=result.principal,
-                    start_ns=start_ns,
-                    end_ns=ctx.clock.now_ns,
-                    cache_hit=result.cache_hit,
-                    detail=result.detail,
-                )
+            span = StageSpan(
+                name=result.stage,
+                category=result.category,
+                principal=result.principal,
+                start_ns=start_ns,
+                end_ns=ctx.clock.now_ns,
+                cache_hit=result.cache_hit,
+                detail=result.detail,
             )
+            ctx.clock.timeline.add_span(span)
+            if ctx.telemetry is not None:
+                ctx.telemetry.stage_span(ctx.boot_id, span)
             ctx.results.append(result)
         return ctx
 

@@ -39,6 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from repro.monitor.config import VmConfig
     from repro.monitor.vm_handle import MicroVm
     from repro.snapshot.checkpoint import Snapshot
+    from repro.telemetry.events import TelemetrySink
     from repro.vm.memory import GuestMemory
     from repro.vm.pagetable import PageTableWalker
     from repro.vm.portio import PortIoBus
@@ -127,6 +128,10 @@ class StageContext:
     #: snapshot-restore inputs
     snapshot: "Snapshot | None" = None
     policy: "RandomizationPolicy | None" = None
+    #: observability: the sink fed one event per completed stage, and the
+    #: boot identity those events carry (``<kernel>:<seed hex>``)
+    telemetry: "TelemetrySink | None" = None
+    boot_id: str = ""
 
     # -- populated by stages ---------------------------------------------------
     memory: "GuestMemory | None" = None

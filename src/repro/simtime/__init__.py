@@ -11,12 +11,13 @@ i7-4790 testbed in *shape*.
 
 from repro.simtime.clock import SimClock
 from repro.simtime.costs import CostModel, JitterModel
-from repro.simtime.fleetclock import FleetWallClock
+from repro.simtime.fleetclock import BootWindow, FleetWallClock
 from repro.simtime.trace import BootCategory, BootStep, Timeline, TraceEvent
 
 __all__ = [
     "BootCategory",
     "BootStep",
+    "BootWindow",
     "CostModel",
     "FleetWallClock",
     "JitterModel",

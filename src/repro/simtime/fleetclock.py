@@ -14,6 +14,20 @@ scheduling, so the makespan is deterministic for a given set of durations.
 from __future__ import annotations
 
 import heapq
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BootWindow:
+    """One admitted boot: the worker slot it ran on and its wall window."""
+
+    worker: int
+    start_ns: int
+    end_ns: int
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
 
 
 class FleetWallClock:
@@ -31,23 +45,30 @@ class FleetWallClock:
         if workers < 1:
             raise ValueError(f"fleet needs at least one worker, got {workers}")
         self.workers = workers
-        self._free: list[int] = [0] * workers  # already a valid heap
+        # (free-at, worker index) — ties break toward the lowest worker,
+        # which keeps scheduling deterministic; already a valid heap
+        self._free: list[tuple[int, int]] = [(0, i) for i in range(workers)]
         self._serial_ns = 0
         self._makespan_ns = 0
         self.admitted = 0
 
-    def admit(self, duration_ns: float) -> tuple[int, int]:
-        """Schedule one boot; returns its ``(start_ns, end_ns)`` window."""
+    def schedule(self, duration_ns: float) -> BootWindow:
+        """Schedule one boot; returns its worker slot and wall window."""
         ns = int(round(duration_ns))
         if ns < 0:
             raise ValueError(f"cannot admit negative duration: {duration_ns}")
-        start = heapq.heappop(self._free)
+        start, worker = heapq.heappop(self._free)
         end = start + ns
-        heapq.heappush(self._free, end)
+        heapq.heappush(self._free, (end, worker))
         self._serial_ns += ns
         self._makespan_ns = max(self._makespan_ns, end)
         self.admitted += 1
-        return start, end
+        return BootWindow(worker=worker, start_ns=start, end_ns=end)
+
+    def admit(self, duration_ns: float) -> tuple[int, int]:
+        """Schedule one boot; returns its ``(start_ns, end_ns)`` window."""
+        window = self.schedule(duration_ns)
+        return window.start_ns, window.end_ns
 
     @property
     def serial_ns(self) -> int:

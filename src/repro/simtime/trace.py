@@ -206,8 +206,28 @@ class Timeline:
         return sum(e.duration_ns for e in self.events if e.step is step)
 
     def filtered(self, steps: Iterable[BootStep]) -> "Timeline":
-        """A new timeline holding only events whose step is in ``steps``."""
+        """A new timeline holding only events whose step is in ``steps``.
+
+        Stage spans are carried over too: the filtered timeline keeps
+        every span whose window overlaps at least one kept event, so
+        stage attribution survives filtering (it used to be silently
+        dropped).
+        """
         wanted = set(steps)
         picked = Timeline()
         picked.events = [e for e in self.events if e.step in wanted]
+        picked.spans = [
+            span
+            for span in self.spans
+            if any(_window_overlaps(span, event) for event in picked.events)
+        ]
         return picked
+
+
+def _window_overlaps(span: StageSpan, event: TraceEvent) -> bool:
+    """Half-open window overlap; zero-width windows count by containment."""
+    if event.start_ns == event.end_ns:
+        return span.start_ns <= event.start_ns <= span.end_ns
+    if span.start_ns == span.end_ns:
+        return event.start_ns <= span.start_ns <= event.end_ns
+    return event.start_ns < span.end_ns and span.start_ns < event.end_ns

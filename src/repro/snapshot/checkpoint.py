@@ -30,6 +30,7 @@ from repro.pipeline import StageContext, build_restore_pipeline
 from repro.simtime.clock import SimClock
 from repro.simtime.costs import CostModel
 from repro.simtime.trace import BootCategory, BootStep
+from repro.telemetry import Telemetry, get_telemetry
 
 
 @dataclass
@@ -59,6 +60,11 @@ class SnapshotManager:
 
     costs: CostModel
     policy: RandomizationPolicy = field(default_factory=RandomizationPolicy)
+    #: None means "use the process-wide default at call time"
+    telemetry: Telemetry | None = None
+
+    def _telemetry(self) -> Telemetry:
+        return self.telemetry if self.telemetry is not None else get_telemetry()
 
     def capture(self, vm: MicroVm) -> Snapshot:
         """Freeze a booted VM; charges capture time on the VM's clock."""
@@ -70,6 +76,9 @@ class SnapshotManager:
             step=BootStep.MONITOR_STARTUP,
             label=f"snapshot capture ({resident >> 20} MiB resident)",
         )
+        self._telemetry().registry.counter(
+            "repro_snapshot_captures_total", help="Snapshots captured"
+        ).inc()
         return Snapshot(
             kernel=vm.kernel,
             frozen=vm.memory.freeze(),
@@ -110,14 +119,25 @@ class SnapshotManager:
     def _run_restore(
         self, snapshot: Snapshot, rebase: bool, seed: int
     ) -> tuple[MicroVm, float]:
+        telemetry = self._telemetry()
         ctx = StageContext(
             clock=SimClock(),
             costs=self.costs,
             rng=random.Random(seed),
             snapshot=snapshot,
             policy=self.policy,
+            telemetry=telemetry,
+            boot_id=f"restore:{snapshot.kernel.name}:{seed:016x}",
         )
         build_restore_pipeline(rebase=rebase).run(ctx)
         with snapshot._lock:
             snapshot._restores += 1
+        telemetry.registry.counter(
+            "repro_snapshot_restores_total", help="Snapshot restores"
+        ).inc()
+        if rebase:
+            telemetry.registry.counter(
+                "repro_snapshot_rebases_total",
+                help="Restores rebased to a fresh KASLR offset",
+            ).inc()
         return ctx.vm, ctx.clock.elapsed_ms()

@@ -1,0 +1,219 @@
+"""Exporters: one snapshot model, three output formats.
+
+A :class:`TelemetrySnapshot` freezes a registry's metric families and an
+event log's records in canonical (scheduling-independent) order; the
+three exporters all read from it:
+
+* :func:`to_prometheus` — Prometheus text exposition format
+  (``# HELP``/``# TYPE`` plus samples; histograms as cumulative ``le``
+  buckets, ``_sum`` and ``_count``);
+* :func:`to_chrome_trace` — Chrome ``trace_event`` JSON loadable in
+  Perfetto / ``chrome://tracing``: one track (``tid``) per fleet worker,
+  a complete (``ph: "X"``) slice per boot placed at its
+  :class:`~repro.monitor.fleet.FleetBoot` wall window, and nested slices
+  for that boot's pipeline stages;
+* :func:`to_json_dump` — a plain JSON dump of both metrics (including
+  reservoir percentiles) and events.
+
+All three are deterministic for a fixed snapshot: families, points, and
+events are canonically sorted, histogram arithmetic is integral, and
+floats serialize via ``repr`` (stable shortest round-trip on every
+supported Python).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.telemetry.events import KIND_BOOT, KIND_STAGE, BootEvent, BootEventLog
+from repro.telemetry.registry import MetricFamily, MetricsRegistry
+
+#: ``pid`` used for every slice — the whole simulation is one "process"
+TRACE_PID = 0
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """A frozen, canonically ordered view of one telemetry scope."""
+
+    metrics: tuple[MetricFamily, ...]
+    events: tuple[BootEvent, ...]
+
+    @classmethod
+    def of(
+        cls, registry: MetricsRegistry, log: BootEventLog
+    ) -> "TelemetrySnapshot":
+        return cls(
+            metrics=registry.collect(),
+            events=tuple(sorted(log.events(), key=BootEvent.sort_key)),
+        )
+
+
+# -- Prometheus text exposition ------------------------------------------------
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _fmt_labels(labels, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = tuple(labels) + tuple(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{key}="{_escape_label(value)}"' for key, value in pairs)
+    return "{" + body + "}"
+
+
+def to_prometheus(snapshot: TelemetrySnapshot) -> str:
+    """Render every metric family in Prometheus text exposition format."""
+    lines: list[str] = []
+    for family in snapshot.metrics:
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for point in family.points:
+            if family.kind == "histogram":
+                assert point.buckets is not None and point.count is not None
+                for bound, cumulative in point.buckets:
+                    le = (("le", _fmt_value(bound)),)
+                    lines.append(
+                        f"{family.name}_bucket"
+                        f"{_fmt_labels(point.labels, le)} {cumulative}"
+                    )
+                lines.append(
+                    f"{family.name}_sum{_fmt_labels(point.labels)} "
+                    f"{_fmt_value(point.value)}"
+                )
+                lines.append(
+                    f"{family.name}_count{_fmt_labels(point.labels)} "
+                    f"{point.count}"
+                )
+            else:
+                lines.append(
+                    f"{family.name}{_fmt_labels(point.labels)} "
+                    f"{_fmt_value(point.value)}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# -- Chrome trace_event JSON ---------------------------------------------------
+
+
+def to_chrome_trace(snapshot: TelemetrySnapshot) -> dict:
+    """Build a ``chrome://tracing`` / Perfetto-loadable trace object.
+
+    Boot admission events place one complete slice per boot on its
+    worker's track (``ts``/``dur`` in microseconds of fleet wall time);
+    each boot's stage events nest inside, shifted by the boot's wall
+    start.  A single instrumented boot with no fleet admission renders
+    on worker track 0 at its boot-local times.
+    """
+    boots = {e.boot_id: e for e in snapshot.events if e.kind == KIND_BOOT}
+    stages = [e for e in snapshot.events if e.kind == KIND_STAGE]
+    workers = sorted({e.worker for e in boots.values() if e.worker is not None})
+
+    trace_events: list[dict] = [
+        {
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": "repro"},
+        }
+    ]
+    for worker in workers:
+        trace_events.append(
+            {
+                "ph": "M",
+                "pid": TRACE_PID,
+                "tid": worker,
+                "name": "thread_name",
+                "args": {"name": f"worker-{worker}"},
+            }
+        )
+
+    for event in sorted(
+        boots.values(), key=lambda e: (e.start_ns, e.worker or 0, e.boot_id)
+    ):
+        trace_events.append(
+            {
+                "name": f"boot {event.boot_id}",
+                "cat": "boot",
+                "ph": "X",
+                "ts": event.start_ns / 1e3,
+                "dur": event.duration_ns / 1e3,
+                "pid": TRACE_PID,
+                "tid": event.worker or 0,
+                "args": {"boot_id": event.boot_id, "detail": event.detail},
+            }
+        )
+
+    def stage_key(event: BootEvent) -> tuple:
+        admission = boots.get(event.boot_id)
+        wall = admission.start_ns if admission else 0
+        return (wall, event.boot_id, event.start_ns, event.seq)
+
+    for event in sorted(stages, key=stage_key):
+        admission = boots.get(event.boot_id)
+        offset_ns = admission.start_ns if admission else 0
+        tid = admission.worker if admission and admission.worker is not None else 0
+        args: dict = {"boot_id": event.boot_id, "principal": event.principal}
+        if event.cache_hit is not None:
+            args["cache"] = "hit" if event.cache_hit else "miss"
+        if event.detail:
+            args["detail"] = event.detail
+        trace_events.append(
+            {
+                "name": event.name,
+                "cat": event.category or "stage",
+                "ph": "X",
+                "ts": (offset_ns + event.start_ns) / 1e3,
+                "dur": event.duration_ns / 1e3,
+                "pid": TRACE_PID,
+                "tid": tid,
+                "args": args,
+            }
+        )
+
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+# -- plain JSON dump -----------------------------------------------------------
+
+
+def to_json_dump(snapshot: TelemetrySnapshot) -> dict:
+    """Everything the snapshot holds, as one JSON-serializable object."""
+    metrics = []
+    for family in snapshot.metrics:
+        points = []
+        for point in family.points:
+            entry: dict = {"labels": dict(point.labels), "value": point.value}
+            if point.buckets is not None:
+                entry["buckets"] = [
+                    {"le": "+Inf" if bound == math.inf else bound, "count": n}
+                    for bound, n in point.buckets
+                ]
+                entry["count"] = point.count
+                entry["percentiles"] = dict(point.percentiles or ())
+            points.append(entry)
+        metrics.append(
+            {
+                "name": family.name,
+                "kind": family.kind,
+                "help": family.help,
+                "points": points,
+            }
+        )
+    return {
+        "metrics": metrics,
+        "events": [event.to_json() for event in snapshot.events],
+    }

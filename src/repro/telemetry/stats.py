@@ -1,0 +1,48 @@
+"""Dependency-free summary statistics shared across subsystems.
+
+The nearest-rank percentile is the paper's p50/p99 convention (Section 6
+reports fleet latency percentiles).  It used to live in
+:mod:`repro.monitor.fleet` purely to dodge a circular import between the
+monitor and analysis layers; the telemetry package has no ``repro``
+dependencies at all, so both layers (and the metrics registry's
+histograms) can now share this one implementation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (the paper's p50/p99 convention)."""
+    if not 0 < q <= 100:
+        raise ValueError(f"percentile must be in (0, 100], got {q}")
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class StageLatency:
+    """Latency distribution of one boot stage across the fleet (ms)."""
+
+    stage: str
+    p50_ms: float
+    p99_ms: float
+    mean_ms: float
+    max_ms: float
+
+
+def latency_summary(stage: str, samples: Sequence[float]) -> StageLatency:
+    """Summarize one stage's per-boot samples into a :class:`StageLatency`."""
+    return StageLatency(
+        stage=stage,
+        p50_ms=percentile(samples, 50),
+        p99_ms=percentile(samples, 99),
+        mean_ms=sum(samples) / len(samples) if samples else 0.0,
+        max_ms=max(samples) if samples else 0.0,
+    )

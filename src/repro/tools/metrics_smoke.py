@@ -1,0 +1,158 @@
+"""End-to-end telemetry smoke check (``make metrics-smoke``).
+
+Runs one seeded boot plus a small seeded fleet with a scoped
+:class:`~repro.telemetry.Telemetry`, exports the snapshot in all three
+formats, and validates each one:
+
+* Prometheus text — line-grammar check (every line is a comment or a
+  ``name{labels} value`` sample) plus the bucket/total invariant the
+  acceptance criterion pins: ``repro_boot_duration_ms`` bucket counts
+  sum to ``repro_fleet_boots_total``;
+* Chrome trace JSON — ``json.loads`` round-trip and required keys
+  (``ph``/``ts``/``dur``/``pid``/``tid``) on every complete event, and
+  the per-worker tracks must reproduce the fleet makespan;
+* plain JSON dump — round-trip and top-level schema.
+
+Exits non-zero with a one-line reason on any violation, so CI can run
+it right after the CLI smoke steps.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+
+from repro.artifacts import get_kernel
+from repro.core.inmonitor import RandomizeMode
+from repro.host.storage import HostStorage
+from repro.kernel import TINY, KernelVariant
+from repro.monitor import BootArtifactCache, Firecracker
+from repro.monitor.config import VmConfig
+from repro.monitor.fleet import FleetManager
+from repro.telemetry import Telemetry, to_chrome_trace, to_json_dump, to_prometheus
+
+#: a Prometheus sample line: name, optional {labels}, space, value
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$"
+)
+
+SMOKE_SEED = 7
+SMOKE_VMS = 4
+SMOKE_WORKERS = 2
+
+
+def _fail(reason: str) -> None:
+    print(f"metrics-smoke: FAIL: {reason}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def _run_workload(telemetry: Telemetry) -> dict:
+    """One boot + one small fleet, all charged to ``telemetry``."""
+    kernel = get_kernel(TINY, KernelVariant.FGKASLR, scale=1, seed=3)
+    cfg = VmConfig(kernel=kernel, randomize=RandomizeMode.FGKASLR, seed=SMOKE_SEED)
+
+    vmm = Firecracker(
+        HostStorage(),
+        artifact_cache=BootArtifactCache(registry=telemetry.registry),
+        telemetry=telemetry,
+    )
+    vmm.boot(cfg)
+
+    fleet = FleetManager(vmm, workers=SMOKE_WORKERS, telemetry=telemetry)
+    report = fleet.launch(cfg, count=SMOKE_VMS, fleet_seed=SMOKE_SEED)
+    return report.to_json()
+
+
+def _check_prometheus(text: str) -> None:
+    buckets: dict[str, int] = {}
+    boots_total = None
+    for line in text.splitlines():
+        if not line:
+            _fail("prometheus text has a blank line")
+        if line.startswith("#"):
+            if not (line.startswith("# HELP ") or line.startswith("# TYPE ")):
+                _fail(f"unknown comment line: {line!r}")
+            continue
+        if not _SAMPLE_RE.match(line):
+            _fail(f"malformed sample line: {line!r}")
+        name, _, value = line.partition(" ")
+        if name.startswith("repro_boot_duration_ms_bucket{"):
+            le = name.split('le="', 1)[1].split('"', 1)[0]
+            buckets[le] = int(value)
+        elif name == "repro_fleet_boots_total":
+            boots_total = int(value)
+    if boots_total is None:
+        _fail("repro_fleet_boots_total missing")
+    if "+Inf" not in buckets:
+        _fail("repro_boot_duration_ms has no +Inf bucket")
+    # le buckets are cumulative, so +Inf carries the full count; the extra
+    # single boot in the workload is in the histogram but not the fleet total
+    if buckets["+Inf"] != boots_total + 1:
+        _fail(
+            f"histogram count {buckets['+Inf']} != fleet boots "
+            f"{boots_total} + 1 standalone boot"
+        )
+
+
+def _check_chrome(text: str, fleet_report: dict) -> None:
+    try:
+        trace = json.loads(text)
+    except json.JSONDecodeError as exc:
+        _fail(f"chrome trace is not JSON: {exc}")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        _fail("chrome trace has no traceEvents")
+    slices = [e for e in events if e.get("ph") == "X"]
+    if not slices:
+        _fail("chrome trace has no complete (ph=X) slices")
+    for event in slices:
+        for key in ("ph", "ts", "dur", "pid", "tid", "name", "cat"):
+            if key not in event:
+                _fail(f"trace event missing {key!r}: {event}")
+    boots = [e for e in slices if e["cat"] == "boot"]
+    if len(boots) != SMOKE_VMS:
+        _fail(f"expected {SMOKE_VMS} boot slices, got {len(boots)}")
+    if {e["tid"] for e in boots} != set(range(SMOKE_WORKERS)):
+        _fail("boot slices do not cover every fleet worker track")
+    # per-worker tracks must reproduce the fleet makespan (µs vs ms)
+    end_us = max(e["ts"] + e["dur"] for e in boots)
+    makespan_us = fleet_report["makespan_ms"] * 1e3
+    if abs(end_us - makespan_us) > 1e-3:
+        _fail(f"trace end {end_us}us != fleet makespan {makespan_us}us")
+
+
+def _check_json_dump(text: str) -> None:
+    try:
+        dump = json.loads(text)
+    except json.JSONDecodeError as exc:
+        _fail(f"json dump is not JSON: {exc}")
+    if set(dump) != {"metrics", "events"}:
+        _fail(f"json dump top-level keys wrong: {sorted(dump)}")
+    if not any(m["name"] == "repro_fleet_boots_total" for m in dump["metrics"]):
+        _fail("json dump is missing repro_fleet_boots_total")
+    if not dump["events"]:
+        _fail("json dump carries no boot events")
+
+
+def main() -> int:
+    telemetry = Telemetry()
+    fleet_report = _run_workload(telemetry)
+    snapshot = telemetry.snapshot()
+
+    _check_prometheus(to_prometheus(snapshot))
+    _check_chrome(
+        json.dumps(to_chrome_trace(snapshot), indent=2, sort_keys=True),
+        fleet_report,
+    )
+    _check_json_dump(json.dumps(to_json_dump(snapshot), indent=2, sort_keys=True))
+
+    print(
+        "metrics-smoke: OK "
+        f"({SMOKE_VMS}-VM fleet + 1 boot; prometheus, chrome trace, json dump)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

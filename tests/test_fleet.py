@@ -276,3 +276,26 @@ def test_percentile_rejects_bad_q():
         percentile([1.0], 0)
     with pytest.raises(ValueError):
         percentile([1.0], 101)
+
+
+# -- report serialization ------------------------------------------------------
+
+
+def test_cache_hit_rate_zero_on_no_lookups():
+    from repro.monitor.artifact_cache import CacheStats
+
+    stats = CacheStats(hits=0, misses=0, evictions=0, entries=0)
+    assert stats.lookups == 0
+    assert stats.hit_rate == 0.0
+
+
+def test_report_json_carries_workers_and_hit_rate(tiny_fgkaslr):
+    manager = _manager(tiny_fgkaslr, workers=2)
+    report = manager.launch(_cfg(tiny_fgkaslr), 4, fleet_seed=5)
+    data = report.to_json()
+    assert data["cache"]["hit_rate"] == report.cache.hit_rate
+    assert data["cache"]["lookups"] == report.cache.lookups
+    workers = [boot["worker"] for boot in data["boots"]]
+    assert set(workers) == {0, 1}
+    for boot, parsed in zip(report.boots, data["boots"]):
+        assert parsed["worker"] == boot.worker

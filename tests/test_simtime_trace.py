@@ -61,3 +61,28 @@ def test_category_ns_and_step_ns():
     tl.append(_event(4, 6, BootCategory.LINUX_BOOT, BootStep.KERNEL_INIT))
     assert tl.category_ns(BootCategory.LINUX_BOOT) == 6
     assert tl.step_ns(BootStep.MONITOR_STARTUP) == 4
+
+
+def test_filtered_carries_overlapping_spans():
+    from repro.simtime.trace import StageSpan
+
+    tl = Timeline()
+    tl.append(_event(0, 10, step=BootStep.MONITOR_STARTUP))
+    tl.append(_event(10, 20, step=BootStep.LOADER_DECOMPRESS))
+    tl.add_span(StageSpan("startup", "monitor_setup", "monitor", 0, 10))
+    tl.add_span(StageSpan("decompress", "decompression", "guest", 10, 30))
+    tl.add_span(StageSpan("late", "linux_boot", "kernel", 40, 50))
+
+    picked = tl.filtered([BootStep.LOADER_DECOMPRESS])
+    # the span covering the kept event survives; the others are dropped
+    assert [span.name for span in picked.spans] == ["decompress"]
+
+
+def test_filtered_keeps_zero_width_span_on_event_edge():
+    from repro.simtime.trace import StageSpan
+
+    tl = Timeline()
+    tl.append(_event(0, 10, step=BootStep.MONITOR_STARTUP))
+    tl.add_span(StageSpan("marker", "monitor_setup", "monitor", 10, 10))
+    picked = tl.filtered([BootStep.MONITOR_STARTUP])
+    assert [span.name for span in picked.spans] == ["marker"]

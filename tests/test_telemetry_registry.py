@@ -1,0 +1,146 @@
+"""Instrument semantics and registry keying (repro.telemetry.registry)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.telemetry import (
+    DEFAULT_NS_BUCKETS,
+    NS_PER_MS,
+    MetricsRegistry,
+)
+from repro.telemetry.registry import Histogram
+from repro.telemetry.stats import percentile
+
+
+# -- counters / gauges ------------------------------------------------------
+
+
+def test_counter_increments_and_rejects_decrease():
+    reg = MetricsRegistry()
+    c = reg.counter("repro_test_total")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_set_inc_dec():
+    g = MetricsRegistry().gauge("repro_test_gauge")
+    g.set(2.5)
+    g.inc()
+    g.dec(0.5)
+    assert g.value == 3.0
+
+
+# -- histogram --------------------------------------------------------------
+
+
+def test_histogram_bucketing_is_le_inclusive():
+    h = Histogram("repro_test_ms", buckets=(10, 100))
+    h.observe(10)  # exactly on a bound -> that bucket, Prometheus le-style
+    h.observe(11)
+    h.observe(1_000)  # overflow bucket
+    counts = dict(h.bucket_counts())
+    assert counts[10.0] == 1
+    assert counts[100.0] == 1
+    assert counts[math.inf] == 1
+    assert h.count == 3
+    assert h.sum == 1_021
+
+
+def test_histogram_cumulative_ends_at_count():
+    h = Histogram("repro_test_ms", buckets=(10, 100))
+    for value in (1, 5, 50, 500):
+        h.observe(value)
+    cumulative = h.cumulative_buckets()
+    assert cumulative[-1] == (math.inf, h.count)
+    running = [n for _, n in cumulative]
+    assert running == sorted(running)
+
+
+def test_histogram_rejects_negative_and_bad_buckets():
+    h = Histogram("repro_test_ms", buckets=(10,))
+    with pytest.raises(ValueError):
+        h.observe(-1)
+    with pytest.raises(ValueError):
+        Histogram("repro_bad_ms", buckets=(10, 5))
+    with pytest.raises(ValueError):
+        Histogram("repro_bad_ms", buckets=())
+
+
+def test_histogram_percentiles_exact_under_reservoir_cap():
+    h = Histogram("repro_test_ms", buckets=DEFAULT_NS_BUCKETS)
+    samples = list(range(1, 101))
+    for value in samples:
+        h.observe(value)
+    assert h.percentile(50) == percentile(samples, 50)
+    assert h.percentile(99) == 99.0
+
+
+def test_default_ns_buckets_are_125_decades():
+    assert DEFAULT_NS_BUCKETS[0] == 1_000
+    assert DEFAULT_NS_BUCKETS[:3] == (1_000, 2_000, 5_000)
+    assert list(DEFAULT_NS_BUCKETS) == sorted(DEFAULT_NS_BUCKETS)
+
+
+# -- the bucket/count invariant the exporters rely on (property test) -------
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=10**12), max_size=200))
+def test_bucket_counts_sum_to_count(values):
+    h = Histogram("repro_prop_ms", buckets=DEFAULT_NS_BUCKETS)
+    for value in values:
+        h.observe(value)
+    assert sum(n for _, n in h.bucket_counts()) == h.count == len(values)
+    assert h.cumulative_buckets()[-1][1] == len(values)
+    assert h.sum == sum(values)
+
+
+# -- registry ---------------------------------------------------------------
+
+
+def test_registry_returns_same_instrument_per_name_and_labels():
+    reg = MetricsRegistry()
+    a = reg.counter("repro_x_total", stage="read")
+    b = reg.counter("repro_x_total", stage="read")
+    c = reg.counter("repro_x_total", stage="parse")
+    assert a is b
+    assert a is not c
+
+
+def test_registry_rejects_kind_conflicts_and_bad_names():
+    reg = MetricsRegistry()
+    reg.counter("repro_x_total")
+    with pytest.raises(ValueError):
+        reg.gauge("repro_x_total")
+    with pytest.raises(ValueError):
+        reg.counter("0bad")
+    with pytest.raises(ValueError):
+        reg.counter("repro_ok_total", **{"bad-label": "v"})
+
+
+def test_collect_is_sorted_and_scales_histograms():
+    reg = MetricsRegistry()
+    reg.counter("repro_b_total", help="b").inc()
+    reg.histogram("repro_a_ms", help="a", scale=NS_PER_MS).observe(50_000)
+    families = reg.collect()
+    assert [f.name for f in families] == ["repro_a_ms", "repro_b_total"]
+    hist = families[0].points[0]
+    # 50_000 ns exported as 0.05 ms, with exact decade bounds
+    assert hist.value == 0.05
+    assert (0.05, 1) in hist.buckets
+    assert hist.buckets[-1] == (math.inf, 1)
+
+
+def test_collect_orders_label_sets():
+    reg = MetricsRegistry()
+    reg.counter("repro_l_total", stage="z").inc()
+    reg.counter("repro_l_total", stage="a").inc(2)
+    points = reg.collect()[0].points
+    assert [dict(p.labels)["stage"] for p in points] == ["a", "z"]
