@@ -2,7 +2,8 @@
 
 PYTHON ?= python3
 
-.PHONY: install test metrics-smoke bench bench-paper fleet-bench examples clean
+.PHONY: install test metrics-smoke bench bench-paper bench-gate bench-clean \
+	fleet-bench examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -26,9 +27,19 @@ bench-paper:
 fleet-bench:
 	$(PYTHON) -m pytest benchmarks/test_fleet_scaling.py --benchmark-only
 
+# gate the freshest benchmarks/results/BENCH_*.json against the committed
+# baseline store (exits non-zero on regression); see EXPERIMENTS.md
+bench-gate:
+	PYTHONPATH=src $(PYTHON) -m repro bench-compare
+
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; done
 
-clean:
-	rm -rf build dist src/repro.egg-info .pytest_cache benchmarks/results
+# benchmarks/baselines.json lives OUTSIDE results/ precisely so these
+# cleanup targets can never delete the committed baseline store
+bench-clean:
+	rm -rf benchmarks/results
+
+clean: bench-clean
+	rm -rf build dist src/repro.egg-info .pytest_cache
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -40,6 +40,11 @@ def test_ablation_lazy_kallsyms(benchmark, record):
              ["saved", saved]],
             title=f"Lazy kallsyms ablation: fixup is {share * 100:.0f}% of boot",
         ),
+        series={
+            "eager_ms": eager.total.mean,
+            "lazy_ms": lazy.total.mean,
+            "saved_ms": saved,
+        },
     )
     # Paper: the kallsyms fixup is a significant share of overall boot
     # (measured at 22% in their C prototype).
@@ -68,6 +73,10 @@ def test_ablation_orc_fixup(benchmark, record):
              ["ORC update omitted", without.total.mean]],
             title="ORC fixup ablation (CONFIG_UNWINDER_ORC kernel)",
         ),
+        series={
+            "with_orc_ms": with_orc.total.mean,
+            "without_orc_ms": without.total.mean,
+        },
     )
     assert with_orc.total.mean > without.total.mean
 
@@ -107,6 +116,11 @@ def test_ablation_seed_grouping_for_page_merging(benchmark, record):
              ["distinct seeds", f"{distinct.reclaimed_nonzero_fraction:.2f}"]],
             title="Section 6: page-merging density, 4-VM FGKASLR fleet",
         ),
+        series={
+            "shared_seed_reclaim": shared.reclaimed_nonzero_fraction,
+            "distinct_seed_reclaim": distinct.reclaimed_nonzero_fraction,
+        },
+        units="fraction",
     )
     assert shared.reclaimed_nonzero_fraction > 0.6
     assert distinct.reclaimed_nonzero_fraction < shared.reclaimed_nonzero_fraction / 2
@@ -133,6 +147,10 @@ def test_ablation_physical_randomization(benchmark, record):
              ["physical + virtual", both.total.mean, len(phys_loads)]],
             title="Decoupled physical randomization (Section 3.2)",
         ),
+        series={
+            "virt_only_ms": virt_only.total.mean,
+            "phys_virt_ms": both.total.mean,
+        },
     )
     assert len(phys_loads) > 1
     assert len({r.layout.phys_load for r in virt_only.reports}) == 1

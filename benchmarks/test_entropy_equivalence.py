@@ -66,7 +66,17 @@ def test_entropy_equivalence(benchmark, record):
         title=f"Entropy equivalence over {N_SAMPLES} boots "
         f"({slots} theoretical slots, scale 1/{SCALE})",
     )
-    record("entropy equivalence", table)
+    record(
+        "entropy equivalence",
+        table,
+        series={
+            "in-monitor/entropy_bits": stats["in-monitor"][0],
+            "in-monitor/coverage": stats["in-monitor"][1],
+            "bootstrap-loader/entropy_bits": stats["bootstrap loader"][0],
+            "bootstrap-loader/coverage": stats["bootstrap loader"][1],
+        },
+        units="bits",
+    )
 
     (m_entropy, m_cov), (l_entropy, l_cov) = stats["in-monitor"], stats[
         "bootstrap loader"

@@ -47,7 +47,14 @@ def test_fig10_guest_memory(benchmark, record):
         rows,
         title=f"Figure 10: guest memory sweep ({N_BOOTS} boots/series)",
     )
-    record("fig10 guest memory", table)
+    record(
+        "fig10 guest memory",
+        table,
+        series={
+            f"{kernel}/{mode}/{mem}mib_ms": series.total.mean
+            for (kernel, mode, mem), series in results.items()
+        },
+    )
 
     for config in KERNEL_CONFIGS:
         for mode in MODES:

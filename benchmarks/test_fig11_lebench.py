@@ -44,7 +44,12 @@ def test_fig11_lebench(benchmark, record):
         rows,
         title=f"Figure 11: LEBench normalized to aws-nokaslr (scale 1/{SCALE})",
     )
-    record("fig11 lebench", table)
+    record(
+        "fig11 lebench",
+        table,
+        series={"kaslr_mean_norm": kaslr_mean, "fgkaslr_mean_norm": fg_mean},
+        units="ratio",
+    )
 
     # Paper: KASLR <1% (ours: exactly 1.0 — 2 MiB shifts preserve cache
     # geometry); FGKASLR ~7% with per-workload variation.

@@ -43,7 +43,14 @@ def test_fig3_compression_bakeoff(benchmark, record):
         rows,
         title=f"Figure 3: compression bakeoff ({N_BOOTS} cached boots/series)",
     )
-    record("fig3 compression bakeoff", table)
+    record(
+        "fig3 compression bakeoff",
+        table,
+        series={
+            f"{kernel}/{codec}_ms": series.total.mean
+            for (kernel, codec), series in results.items()
+        },
+    )
 
     # Paper claim: LZ4 is the fastest-booting compression scheme.
     for config in KERNEL_CONFIGS:

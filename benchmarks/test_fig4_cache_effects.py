@@ -59,7 +59,12 @@ def test_fig4_cache_effects(benchmark, record):
         rows,
         title=f"Figure 4: cache effects ({N_BOOTS} boots/series)",
     )
-    record("fig4 cache effects", table)
+    series_out = {}
+    for (kernel, cached), (direct, bz) in results.items():
+        state = "cached" if cached else "cold"
+        series_out[f"{kernel}/{state}/direct_ms"] = direct.total.mean
+        series_out[f"{kernel}/{state}/bzimage_lz4_ms"] = bz.total.mean
+    record("fig4 cache effects", table, series=series_out)
 
     # The crossover must hold for every kernel config.
     for config in KERNEL_CONFIGS:

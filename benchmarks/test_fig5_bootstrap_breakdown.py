@@ -37,11 +37,14 @@ def test_fig5_bootstrap_breakdown(benchmark, record):
     reports = benchmark.pedantic(_run, rounds=1, iterations=1)
     rows = []
     shares = {}
+    series_out = {}
     for kernel, report in reports.items():
         steps = {step: report.step_ms(step) for step in _LOADER_STEPS}
         loader_total = sum(steps.values())
         share = steps[BootStep.LOADER_DECOMPRESS] / loader_total
         shares[kernel] = share
+        series_out[f"{kernel}/loader_total_ms"] = loader_total
+        series_out[f"{kernel}/decompress_ms"] = steps[BootStep.LOADER_DECOMPRESS]
         rows.append(
             [kernel, loader_total]
             + [steps[s] for s in _LOADER_STEPS]
@@ -54,7 +57,7 @@ def test_fig5_bootstrap_breakdown(benchmark, record):
         rows,
         title="Figure 5: bootstrap loader step breakdown (LZ4 bzImage, ms)",
     )
-    record("fig5 bootstrap breakdown", table)
+    record("fig5 bootstrap breakdown", table, series=series_out)
 
     # Decompression dominates loader time, approaching the paper's 73%.
     assert max(shares.values()) > 0.55

@@ -54,7 +54,14 @@ def test_fig6_bootstrap_methods(benchmark, record):
         rows,
         title=f"Figure 6: bootstrap methods, nokaslr cached ({N_BOOTS} boots)",
     )
-    record("fig6 bootstrap methods", table)
+    record(
+        "fig6 bootstrap methods",
+        table,
+        series={
+            f"{kernel}/{method}_ms": series.total.mean
+            for (kernel, method), series in results.items()
+        },
+    )
 
     for config in KERNEL_CONFIGS:
         none = results[(config.name, "none")].total.mean

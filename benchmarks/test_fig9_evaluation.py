@@ -71,7 +71,14 @@ def test_fig9_evaluation(benchmark, record):
         rows,
         title=f"Figure 9: boot time evaluation (ms, {N_BOOTS} boots/series)",
     )
-    record("fig9 evaluation", table)
+    record(
+        "fig9 evaluation",
+        table,
+        series={
+            f"{kernel}/{mode}/{method}_ms": series.total.mean
+            for (kernel, mode, method), series in results.items()
+        },
+    )
 
     for config in KERNEL_CONFIGS:
         name = config.name

@@ -66,7 +66,11 @@ def test_fleet_scaling(benchmark, record):
         title=f"per-boot stage latency across the {FLEET_SIZE}-VM fleet "
         f"({WORKER_SWEEP[-1]} workers)",
     )
-    record("fleet scaling", sweep + "\n\n" + stages)
+    series_out = {}
+    for workers, report in results.items():
+        series_out[f"{workers}w/wall_ms"] = report.makespan_ms
+        series_out[f"{workers}w/rate_per_s"] = report.rate_per_s
+    record("fleet scaling", sweep + "\n\n" + stages, series=series_out)
 
     for workers, report in results.items():
         # the ISSUE gate: a warmed 256-VM fleet must run >=90% out of cache

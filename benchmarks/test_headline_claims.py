@@ -67,7 +67,14 @@ def test_headline_claims(benchmark, record):
         lines,
         title=f"Headline claims (ms, {N_BOOTS} boots/series)",
     )
-    record("headline claims", table)
+    series_out = {}
+    for config in KERNEL_CONFIGS:
+        for variant in ("baseline", "inmon-k", "inmon-fg", "selfrando-k",
+                        "selfrando-fg"):
+            series_out[f"{config.name}/{variant}_ms"] = data[
+                (config.name, variant)
+            ].total.mean
+    record("headline claims", table, series=series_out)
 
     # (C4a) in-monitor beats self-randomization; best case in the tens of %
     assert all(s > 0 for s in speedups_k + speedups_fg)

@@ -60,7 +60,15 @@ def test_instantiation_rate(benchmark, record):
         title=f"VMs instantiated per second — {INVOCATIONS} invocations of "
         f"'{SPEC.name}' on the aws kernel",
     )
-    record("instantiation rate", table)
+    record(
+        "instantiation rate",
+        table,
+        series={
+            f"{name}/rate_per_s": p.instantiation_rate_per_s()
+            for name, p in results.items()
+        },
+        units="1/s",
+    )
 
     base = results[f"cold/{RandomizeMode.NONE}"].instantiation_rate_per_s()
     kaslr = results[f"cold/{RandomizeMode.KASLR}"].instantiation_rate_per_s()

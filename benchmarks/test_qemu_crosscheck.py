@@ -47,7 +47,11 @@ def test_qemu_crosscheck(benchmark, record):
         rows,
         title=f"QEMU cross-check, cached ({N_BOOTS} boots/series)",
     )
-    record("qemu crosscheck", table)
+    series_out = {}
+    for (kernel, vmm), (direct, bz) in results.items():
+        series_out[f"{kernel}/{vmm}/direct_ms"] = direct.total.mean
+        series_out[f"{kernel}/{vmm}/bzimage_lz4_ms"] = bz.total.mean
+    record("qemu crosscheck", table, series=series_out)
 
     for config in KERNEL_CONFIGS:
         fc_direct, fc_bz = results[(config.name, "firecracker")]

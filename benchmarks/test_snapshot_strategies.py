@@ -63,7 +63,11 @@ def test_snapshot_strategies(benchmark, record):
         rows,
         title=f"Zygote strategies, aws kernel, {ACQUISITIONS} acquisitions",
     )
-    record("snapshot strategies", table)
+    series_out = {"cold_boot_ms": cold.total.mean}
+    for policy, (fill_ms, latencies, _offsets) in strategies.items():
+        series_out[f"{policy}/acquire_ms"] = sum(latencies) / len(latencies)
+        series_out[f"{policy}/fill_ms"] = fill_ms
+    record("snapshot strategies", table, series=series_out)
 
     shared = strategies[ZygotePolicy.SHARED]
     pool = strategies[ZygotePolicy.POOL]

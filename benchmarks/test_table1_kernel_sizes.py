@@ -51,7 +51,14 @@ def test_table1_kernel_sizes(benchmark, record):
         rows,
         title=f"Table 1: kernel image sizes (paper scale, build scale 1/{SCALE})",
     )
-    record("table1 kernel sizes", table)
+    record(
+        "table1 kernel sizes",
+        table,
+        series={
+            f"{row[0]}/vmlinux_mb": float(row[1].rstrip("M")) for row in rows
+        },
+        units="MB",
+    )
     by_name = {row[0]: row for row in rows}
     # paper shape: nokaslr has no relocs; fgkaslr has the most; sizes grow
     # lupine < aws < ubuntu

@@ -11,7 +11,12 @@ Subcommands::
 ``--metrics`` (Prometheus text to stdout) and
 ``--trace-export {chrome,json,prometheus} [--trace-out trace.json]``
 (Chrome ``trace_event`` JSON loads in Perfetto / ``chrome://tracing``).
+Both also accept ``--profile {folded,json,table}`` (attribute every
+simulated nanosecond to boot/stage/principal/charge-kind; ``folded`` is
+flamegraph.pl-compatible) with ``--profile-out PATH``.
 Other subcommands::
+    python -m repro profile --kernel aws --count 4    # cost attribution
+    python -m repro bench-compare                     # regression gate
     python -m repro sizes                     # Table 1
     python -m repro codecs  --kernel lupine   # compression stats
     python -m repro lebench                   # Figure 11 summary
@@ -41,6 +46,7 @@ from repro.telemetry import (
     to_json_dump,
     to_prometheus,
 )
+from repro.telemetry.profiler import CostProfiler
 
 _MODE_VARIANT = {
     RandomizeMode.NONE: KernelVariant.NOKASLR,
@@ -49,10 +55,32 @@ _MODE_VARIANT = {
 }
 
 
-def _make_vmm(args, telemetry: Telemetry | None = None) -> Firecracker:
+def _make_vmm(
+    args,
+    telemetry: Telemetry | None = None,
+    profiler: CostProfiler | None = None,
+) -> Firecracker:
     costs = CostModel(scale=args.scale, jitter=JitterModel(sigma=args.jitter))
     cls = Qemu if getattr(args, "qemu", False) else Firecracker
-    return cls(HostStorage(), costs, telemetry=telemetry)
+    return cls(HostStorage(), costs, telemetry=telemetry, profiler=profiler)
+
+
+def _make_profiler(args) -> CostProfiler | None:
+    """A profiler when ``--profile`` asked for one, else None (no overhead)."""
+    return CostProfiler() if getattr(args, "profile", None) else None
+
+
+def _emit_profile(args, profiler: CostProfiler | None) -> None:
+    """Honor ``--profile {folded,json,table}`` and ``--profile-out``."""
+    if profiler is None:
+        return
+    content = profiler.render(args.profile)
+    out = getattr(args, "profile_out", "-")
+    if out == "-":
+        sys.stdout.write(content)
+    else:
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(content)
 
 
 def _render_export(telemetry: Telemetry, fmt: str) -> str:
@@ -111,7 +139,8 @@ def _build_cfg(args) -> VmConfig:
 
 def _cmd_boot(args) -> int:
     telemetry = Telemetry()
-    vmm = _make_vmm(args, telemetry=telemetry)
+    profiler = _make_profiler(args)
+    vmm = _make_vmm(args, telemetry=telemetry, profiler=profiler)
     cfg = _build_cfg(args)
     if args.boots > 1 and (args.json or args.trace):
         print("--json/--trace report a single boot; drop --boots", file=sys.stderr)
@@ -131,6 +160,7 @@ def _cmd_boot(args) -> int:
             )
         )
         _emit_telemetry(args, telemetry)
+        _emit_profile(args, profiler)
         return 0
     if not args.cold:
         vmm.warm_caches(cfg)
@@ -140,6 +170,7 @@ def _cmd_boot(args) -> int:
     if args.json:
         print(json.dumps(report.to_json(), indent=2))
         _emit_telemetry(args, telemetry)
+        _emit_profile(args, profiler)
         return 0
     print(report.summary())
     if args.trace:
@@ -164,15 +195,17 @@ def _cmd_boot(args) -> int:
     print(f"  verified {report.verification.functions_checked} functions / "
           f"{report.verification.sites_checked} relocation sites")
     _emit_telemetry(args, telemetry)
+    _emit_profile(args, profiler)
     return 0
 
 
 def _run_fleet(args):
-    """Launch one seeded fleet; returns ``(report, telemetry)``."""
+    """Launch one seeded fleet; returns ``(report, telemetry, profiler)``."""
     from repro.monitor import BootArtifactCache, FleetManager
 
     telemetry = Telemetry()
-    vmm = _make_vmm(args, telemetry=telemetry)
+    profiler = _make_profiler(args)
+    vmm = _make_vmm(args, telemetry=telemetry, profiler=profiler)
     vmm.artifact_cache = BootArtifactCache(
         max_entries=args.cache_entries, registry=telemetry.registry
     )
@@ -182,14 +215,15 @@ def _run_fleet(args):
     report = manager.launch(
         cfg, args.count, fleet_seed=args.seed, warm=not args.cold
     )
-    return report, telemetry
+    return report, telemetry, profiler
 
 
 def _cmd_fleet(args) -> int:
-    report, telemetry = _run_fleet(args)
+    report, telemetry, profiler = _run_fleet(args)
     if args.json:
         print(json.dumps(report.to_json(), indent=2))
         _emit_telemetry(args, telemetry)
+        _emit_profile(args, profiler)
         return 0
     print(report.summary())
     if args.trace and report.boots:
@@ -212,14 +246,36 @@ def _cmd_fleet(args) -> int:
         f"  {report.unique_layouts} distinct layouts across {report.n_vms} VMs"
     )
     _emit_telemetry(args, telemetry)
+    _emit_profile(args, profiler)
     return 0
 
 
 def _cmd_metrics(args) -> int:
     """Run one seeded fleet and print its Prometheus metrics text."""
-    _report, telemetry = _run_fleet(args)
+    _report, telemetry, _profiler = _run_fleet(args)
     sys.stdout.write(to_prometheus(telemetry.snapshot()))
     return 0
+
+
+def _cmd_profile(args) -> int:
+    """Run a seeded fleet under the profiler and print the attribution."""
+    args.profile = args.fmt  # reuse the boot/fleet profiler plumbing
+    args.profile_out = args.out
+    _report, _telemetry, profiler = _run_fleet(args)
+    _emit_profile(args, profiler)
+    return 0
+
+
+def _cmd_bench_compare(args) -> int:
+    from repro.tools.benchgate import run_compare
+
+    return run_compare(
+        results_dir=args.results,
+        baselines_path=args.baselines,
+        update=args.update,
+        strict=args.strict,
+        write=sys.stdout.write,
+    )
 
 
 def _cmd_sizes(args) -> int:
@@ -329,6 +385,11 @@ def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
                         help="export the telemetry snapshot in this format")
     parser.add_argument("--trace-out", default="-", metavar="PATH",
                         help="trace export destination ('-' = stdout)")
+    parser.add_argument("--profile", choices=["folded", "json", "table"],
+                        help="attribute every simulated ns and emit the "
+                             "cost profile in this format")
+    parser.add_argument("--profile-out", default="-", metavar="PATH",
+                        help="profile destination ('-' = stdout)")
 
 
 def _add_fleet_options(parser: argparse.ArgumentParser) -> None:
@@ -411,6 +472,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_fleet_options(metrics)
     metrics.set_defaults(func=_cmd_metrics, count=4, workers=4)
+
+    profile = sub.add_parser(
+        "profile", parents=[common],
+        help="run a seeded fleet under the cost profiler and print "
+             "the per-nanosecond attribution",
+    )
+    _add_fleet_options(profile)
+    profile.add_argument("--fmt", choices=["folded", "json", "table"],
+                         default="folded",
+                         help="output format (folded = flamegraph stacks)")
+    profile.add_argument("--out", default="-", metavar="PATH",
+                         help="profile destination ('-' = stdout)")
+    profile.set_defaults(func=_cmd_profile, count=4, workers=4)
+
+    bench = sub.add_parser(
+        "bench-compare",
+        help="compare benchmarks/results/BENCH_*.json against the "
+             "committed baselines; non-zero exit on regression",
+    )
+    bench.add_argument("--results", default="benchmarks/results",
+                       metavar="DIR", help="directory holding BENCH_*.json")
+    bench.add_argument("--baselines", default="benchmarks/baselines.json",
+                       metavar="PATH", help="committed baseline store")
+    bench.add_argument("--update", action="store_true",
+                       help="rewrite the baseline store from the results")
+    bench.add_argument("--strict", action="store_true",
+                       help="fail when a baselined benchmark produced no result")
+    bench.set_defaults(func=_cmd_bench_compare)
 
     sizes = sub.add_parser("sizes", parents=[common], help="regenerate Table 1")
     sizes.set_defaults(func=_cmd_sizes)

@@ -58,7 +58,7 @@ def load_elf_segments(
         memory.write(phdr.p_paddr + phys_shift, data)
         copied += len(data)
     ctx.charge(
-        len(segments) * ctx.costs.segment_load_overhead_ns,
+        ctx.costs.segment_load_ns(len(segments)),
         ctx.steps.segment_load,
         label=f"load {len(segments)} segments",
     )

@@ -41,6 +41,7 @@ from repro.pipeline import BootPipeline, StageContext, build_boot_pipeline
 from repro.simtime.clock import SimClock
 from repro.simtime.costs import CostModel, JitterModel
 from repro.telemetry import NS_PER_MS, Telemetry, get_telemetry
+from repro.telemetry.profiler import CostProfiler
 from repro.vm.portio import PortIoBus
 
 
@@ -92,10 +93,12 @@ class Firecracker:
         entropy: HostEntropyPool | None = None,
         artifact_cache: BootArtifactCache | None = None,
         telemetry: Telemetry | None = None,
+        profiler: "CostProfiler | None" = None,
     ) -> None:
         self.storage = storage
         self.costs = costs if costs is not None else CostModel()
         self.telemetry = telemetry
+        self.profiler = profiler
         if entropy is None:
             registry = telemetry.registry if telemetry is not None else None
             entropy = HostEntropyPool(registry=registry)
@@ -173,6 +176,7 @@ class Firecracker:
 
         telemetry = self.telemetry if self.telemetry is not None else get_telemetry()
         clock = SimClock()
+        clock.profiler = self.profiler
         ctx = StageContext(
             clock=clock,
             costs=costs,
@@ -187,6 +191,7 @@ class Firecracker:
             guest_entry_override_ns=self.profile.guest_entry_ns,
             telemetry=telemetry,
             boot_id=boot_identity(cfg.kernel.name, seed),
+            profiler=self.profiler,
         )
         self.build_pipeline(cfg).run(ctx)
 
@@ -247,6 +252,7 @@ class Firecracker:
             self.costs,
             jitter=JitterModel(sigma=self.costs.jitter.sigma, seed=jseed),
             decompress_mib_s=dict(self.costs.decompress_mib_s),
+            profiler=self.profiler,
         )
 
 

@@ -21,6 +21,7 @@ is a build-time error because the flavor has no loader stages to compose.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -59,9 +60,25 @@ class BootPipeline:
 
     def run(self, ctx: StageContext) -> StageContext:
         """Execute every stage in order, spanning each on the timeline."""
+        profiler = ctx.profiler
+        boot_frame = (
+            profiler.boot_frame(ctx.boot_id)
+            if profiler is not None
+            else nullcontext()
+        )
+        with boot_frame:
+            self._run_stages(ctx)
+        return ctx
+
+    def _run_stages(self, ctx: StageContext) -> None:
+        profiler = ctx.profiler
         for stage in self.stages:
             start_ns = ctx.clock.now_ns
-            result = stage.run(ctx)
+            if profiler is not None:
+                with profiler.stage_frame(stage.name, stage.principal):
+                    result = stage.run(ctx)
+            else:
+                result = stage.run(ctx)
             span = StageSpan(
                 name=result.stage,
                 category=result.category,
@@ -75,7 +92,6 @@ class BootPipeline:
             if ctx.telemetry is not None:
                 ctx.telemetry.stage_span(ctx.boot_id, span)
             ctx.results.append(result)
-        return ctx
 
     def stage_names(self) -> list[str]:
         return [stage.name for stage in self.stages]

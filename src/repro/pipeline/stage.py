@@ -40,6 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from repro.monitor.vm_handle import MicroVm
     from repro.snapshot.checkpoint import Snapshot
     from repro.telemetry.events import TelemetrySink
+    from repro.telemetry.profiler import CostProfiler
     from repro.vm.memory import GuestMemory
     from repro.vm.pagetable import PageTableWalker
     from repro.vm.portio import PortIoBus
@@ -132,6 +133,9 @@ class StageContext:
     #: boot identity those events carry (``<kernel>:<seed hex>``)
     telemetry: "TelemetrySink | None" = None
     boot_id: str = ""
+    #: cost-attribution profiler; the pipeline brackets the run (and each
+    #: stage) in its context frames so every charge lands attributed
+    profiler: "CostProfiler | None" = None
 
     # -- populated by stages ---------------------------------------------------
     memory: "GuestMemory | None" = None

@@ -62,7 +62,11 @@ class MonitorStartupStage(Stage):
     def run(self, ctx: StageContext) -> StageResult:
         cfg = ctx.cfg
         if ctx.startup_override_ns is not None:
-            ns = ctx.startup_override_ns * ctx.costs.jitter.factor()
+            # profile override: same jitter draw, routed through the
+            # chokepoint so the profiler still sees a vmm_startup kind
+            ns = ctx.costs.charge(
+                "vmm_startup", ctx.startup_override_ns * ctx.costs.jitter.factor()
+            )
         else:
             ns = ctx.costs.vmm_startup()
         ctx.clock.charge(
@@ -407,7 +411,10 @@ class GuestEntryStage(Stage):
                     + "; ".join(problems)
                 )
         if ctx.guest_entry_override_ns is not None:
-            ns = ctx.guest_entry_override_ns * ctx.costs.jitter.factor()
+            ns = ctx.costs.charge(
+                "vmm_guest_entry",
+                ctx.guest_entry_override_ns * ctx.costs.jitter.factor(),
+            )
         else:
             ns = ctx.costs.vmm_guest_entry()
         ctx.clock.charge(
@@ -438,17 +445,16 @@ class GuestBootStage(Stage):
 
     def run(self, ctx: StageContext) -> StageResult:
         cfg = ctx.cfg
-        mem_ns, base_ns = ctx.costs.kernel_boot_ns(
-            cfg.kernel.config.linux_boot_base_ms, cfg.mem_mib
-        )
+        # each cost is computed immediately before its own clock charge so
+        # the profiler's pending/commit pairing stays one-to-one
         ctx.clock.charge(
-            mem_ns,
+            ctx.costs.kernel_mem_init_ns(cfg.mem_mib),
             category=BootCategory.LINUX_BOOT,
             step=BootStep.KERNEL_MEM_INIT,
             label=f"memblock/struct-page init for {cfg.mem_mib} MiB",
         )
         ctx.clock.charge(
-            base_ns,
+            ctx.costs.kernel_init_ns(cfg.kernel.config.linux_boot_base_ms),
             category=BootCategory.LINUX_BOOT,
             step=BootStep.KERNEL_INIT,
             label="kernel subsystem init",

@@ -8,7 +8,12 @@ a category and step, and the clock records them on a
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.simtime.trace import BootCategory, BootStep, Timeline, TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.telemetry.profiler import CostProfiler
 
 
 class SimClock:
@@ -17,6 +22,9 @@ class SimClock:
     def __init__(self, start_ns: int = 0) -> None:
         self._now_ns = int(start_ns)
         self.timeline = Timeline()
+        #: attribution sink; the monitor attaches the boot's profiler so
+        #: every committed charge is apportioned (see telemetry.profiler)
+        self.profiler: "CostProfiler | None" = None
 
     @property
     def now_ns(self) -> int:
@@ -50,6 +58,8 @@ class SimClock:
         )
         self.timeline.append(event)
         self._now_ns += ns
+        if self.profiler is not None:
+            self.profiler.commit(ns, str(step))
         return event
 
     def elapsed_ms(self) -> float:

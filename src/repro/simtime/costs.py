@@ -18,10 +18,49 @@ from __future__ import annotations
 
 import math
 import random
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.telemetry.profiler import CostProfiler
 
 MIB = 1024 * 1024
 NS_PER_S = 1_000_000_000
+
+#: Every charge kind a :class:`CostModel` method can report through its
+#: :meth:`CostModel.charge` chokepoint.  The profiler additionally emits
+#: dynamic ``uncosted.<step>`` kinds for clock charges that no cost method
+#: produced (milestone writes, overrides fed raw constants, ...), so the
+#: attribution always covers 100% of simulated time.
+CHARGE_KINDS: tuple[str, ...] = (
+    "artifact_cache_lookup",
+    "decompress",
+    "disk_read",
+    "elf_parse",
+    "kallsyms_fixup",
+    "kernel_init",
+    "kernel_mem_init",
+    "loader_heap_zero",
+    "loader_init",
+    "loader_jump",
+    "loader_memcpy",
+    "loader_pagetable",
+    "memcpy",
+    "memzero",
+    "reloc_apply",
+    "reloc_search",
+    "rng",
+    "segment_load",
+    "shuffle",
+    "snapshot_capture",
+    "snapshot_restore",
+    "table_fixup",
+    "vmm_boot_params",
+    "vmm_guest_entry",
+    "vmm_pagetable",
+    "vmm_startup",
+)
 
 
 def _ns_for_throughput(nbytes: int, mib_per_s: float) -> float:
@@ -170,6 +209,15 @@ class CostModel:
     #: struct-page init); drives the Figure 10 linear trend.
     kernel_mem_init_per_mib_ns: float = 12_000.0
 
+    #: attribution sink (see :mod:`repro.telemetry.profiler`); per-boot
+    #: model clones inherit it through :func:`dataclasses.replace`
+    profiler: "CostProfiler | None" = field(
+        default=None, repr=False, compare=False
+    )
+    #: >0 while inside a composite cost method, so inner helper calls
+    #: (e.g. the memcpy share of ``shuffle_ns``) are not double-reported
+    _depth: int = field(default=0, init=False, repr=False, compare=False)
+
     # -- helpers -------------------------------------------------------------
 
     def _scaled(self, ns: float) -> float:
@@ -178,26 +226,56 @@ class CostModel:
     def _const(self, ns: float) -> float:
         return ns * self.jitter.factor()
 
+    def charge(self, kind: str, ns: float) -> float:
+        """The cost chokepoint: report ``ns`` under ``kind`` and return it.
+
+        Every public cost method funnels its result through here, so an
+        attached profiler sees one ``(kind, ns)`` record per cost site; the
+        clock commit (:meth:`repro.simtime.clock.SimClock.charge`) then
+        attributes the rounded nanoseconds.  No jitter is drawn here — the
+        chokepoint observes values, it never changes them.
+        """
+        if self.profiler is not None and self._depth == 0:
+            self.profiler.record_cost(kind, ns)
+        return ns
+
+    @contextmanager
+    def _nested(self) -> Iterator[None]:
+        """Suppress reporting of helper calls inside a composite cost."""
+        self._depth += 1
+        try:
+            yield
+        finally:
+            self._depth -= 1
+
     # --- host I/O ------------------------------------------------------------
 
     def disk_read_ns(self, nbytes: int, cached: bool) -> float:
         """Read ``nbytes`` of a kernel image from storage (or page cache)."""
         rate = self.page_cache_read_mib_s if cached else self.ssd_read_mib_s
-        return self._scaled(_ns_for_throughput(nbytes, rate)) + self._const(
+        ns = self._scaled(_ns_for_throughput(nbytes, rate)) + self._const(
             self.io_request_overhead_ns
         )
+        return self.charge("disk_read", ns)
 
     # --- memory ---------------------------------------------------------------
 
     def memcpy_ns(self, nbytes: int) -> float:
-        return self._scaled(_ns_for_throughput(nbytes, self.memcpy_mib_s))
+        return self.charge(
+            "memcpy", self._scaled(_ns_for_throughput(nbytes, self.memcpy_mib_s))
+        )
 
     def loader_memcpy_ns(self, nbytes: int) -> float:
         """Bulk byte movement performed by the bootstrap loader."""
-        return self._scaled(_ns_for_throughput(nbytes, self.loader_memcpy_mib_s))
+        return self.charge(
+            "loader_memcpy",
+            self._scaled(_ns_for_throughput(nbytes, self.loader_memcpy_mib_s)),
+        )
 
     def memzero_ns(self, nbytes: int) -> float:
-        return self._scaled(_ns_for_throughput(nbytes, self.memzero_mib_s))
+        return self.charge(
+            "memzero", self._scaled(_ns_for_throughput(nbytes, self.memzero_mib_s))
+        )
 
     # --- decompression ----------------------------------------------------------
 
@@ -209,105 +287,158 @@ class CostModel:
             raise KeyError(
                 f"no decompression throughput calibrated for codec {codec!r}"
             ) from None
-        return self._scaled(_ns_for_throughput(out_bytes, rate))
+        return self.charge(
+            "decompress", self._scaled(_ns_for_throughput(out_bytes, rate))
+        )
 
     # --- ELF ---------------------------------------------------------------------
 
     def elf_parse_ns(self, n_sections: int, n_symbols: int = 0) -> float:
-        return self._const(self.elf_header_parse_ns) + self._scaled(
+        ns = self._const(self.elf_header_parse_ns) + self._scaled(
             n_sections * self.elf_section_parse_ns
             + n_symbols * self.elf_symbol_parse_ns
         )
+        return self.charge("elf_parse", ns)
 
     # --- randomization --------------------------------------------------------
 
     def rng_ns(self, draws: int, in_guest: bool) -> float:
         per = self.guest_rng_draw_ns if in_guest else self.host_rng_draw_ns
-        return self._const(draws * per)
+        return self.charge("rng", self._const(draws * per))
 
     def reloc_apply_batch_ns(self, n_entries: int, in_guest: bool = False) -> float:
         factor = self.loader_reloc_slowdown if in_guest else 1.0
-        return self._scaled(n_entries * self.reloc_apply_ns * factor)
+        return self.charge(
+            "reloc_apply", self._scaled(n_entries * self.reloc_apply_ns * factor)
+        )
 
     def reloc_search_batch_ns(self, n_entries: int, n_sections: int) -> float:
         """Binary-search cost for FGKASLR relocation handling."""
         depth = math.log2(n_sections + 1) if n_sections > 0 else 0.0
-        return self._scaled(n_entries * self.reloc_search_factor_ns * depth)
+        return self.charge(
+            "reloc_search",
+            self._scaled(n_entries * self.reloc_search_factor_ns * depth),
+        )
 
     def shuffle_ns(self, n_sections: int, text_bytes: int) -> float:
         """Shuffle function sections and repack them contiguously."""
-        return self._scaled(n_sections * self.shuffle_section_ns) + self.memcpy_ns(
-            text_bytes
-        )
+        with self._nested():
+            ns = self._scaled(
+                n_sections * self.shuffle_section_ns
+            ) + self.memcpy_ns(text_bytes)
+        return self.charge("shuffle", ns)
 
     def table_fixup_ns(self, n_entries: int) -> float:
-        return self._scaled(n_entries * self.table_fixup_entry_ns)
+        return self.charge(
+            "table_fixup", self._scaled(n_entries * self.table_fixup_entry_ns)
+        )
 
     def kallsyms_fixup_ns(self, n_symbols: int) -> float:
-        return self._scaled(n_symbols * self.kallsyms_fixup_symbol_ns)
+        return self.charge(
+            "kallsyms_fixup",
+            self._scaled(n_symbols * self.kallsyms_fixup_symbol_ns),
+        )
 
     def artifact_cache_lookup(self) -> float:
         """One boot-artifact cache probe (constant; hit path only)."""
-        return self._const(self.artifact_cache_lookup_ns)
+        return self.charge(
+            "artifact_cache_lookup", self._const(self.artifact_cache_lookup_ns)
+        )
 
     # --- monitor ------------------------------------------------------------------
 
     def vmm_startup(self) -> float:
-        return self._const(self.vmm_startup_ns)
+        return self.charge("vmm_startup", self._const(self.vmm_startup_ns))
 
     def vmm_boot_params(self) -> float:
-        return self._const(self.vmm_boot_params_ns)
+        return self.charge("vmm_boot_params", self._const(self.vmm_boot_params_ns))
 
     def vmm_pagetable_ns(self, mapped_bytes: int) -> float:
         mib = mapped_bytes / MIB * self.scale
-        return self._const(
-            self.vmm_pagetable_base_ns + mib * self.vmm_pagetable_per_mib_ns
+        return self.charge(
+            "vmm_pagetable",
+            self._const(
+                self.vmm_pagetable_base_ns + mib * self.vmm_pagetable_per_mib_ns
+            ),
         )
 
     def vmm_guest_entry(self) -> float:
-        return self._const(self.vmm_guest_entry_ns)
+        return self.charge("vmm_guest_entry", self._const(self.vmm_guest_entry_ns))
 
     # --- bootstrap loader ------------------------------------------------------
 
     def loader_init(self) -> float:
-        bss_zero = (
-            self.memzero_ns(self.loader_bss_zero_bytes // self.scale)
-            * self.loader_zero_slowdown
-        )
-        return self._const(self.loader_init_ns) + bss_zero
+        with self._nested():
+            bss_zero = (
+                self.memzero_ns(self.loader_bss_zero_bytes // self.scale)
+                * self.loader_zero_slowdown
+            )
+            ns = self._const(self.loader_init_ns) + bss_zero
+        return self.charge("loader_init", ns)
 
     def loader_pagetable(self) -> float:
-        return self._const(self.loader_pagetable_ns)
+        return self.charge("loader_pagetable", self._const(self.loader_pagetable_ns))
 
     def loader_heap_zero_ns(self, heap_bytes: int) -> float:
-        return self.memzero_ns(heap_bytes) * self.loader_zero_slowdown
+        with self._nested():
+            ns = self.memzero_ns(heap_bytes) * self.loader_zero_slowdown
+        return self.charge("loader_heap_zero", ns)
 
     def loader_jump(self) -> float:
-        return self._const(self.loader_jump_ns)
+        return self.charge("loader_jump", self._const(self.loader_jump_ns))
+
+    # --- segment loading --------------------------------------------------------
+
+    def segment_load_ns(self, n_segments: int) -> float:
+        """Per-PT_LOAD-segment bookkeeping (deliberately jitter-free: the
+        constant models fixed syscall/bookkeeping work, and the seed
+        behaviour charged the raw attribute)."""
+        return self.charge(
+            "segment_load", n_segments * self.segment_load_overhead_ns
+        )
 
     # --- snapshot / restore --------------------------------------------------
 
     def snapshot_capture_ns(self, resident_bytes: int) -> float:
-        return self._scaled(
-            _ns_for_throughput(resident_bytes, self.snapshot_capture_mib_s)
+        return self.charge(
+            "snapshot_capture",
+            self._scaled(
+                _ns_for_throughput(resident_bytes, self.snapshot_capture_mib_s)
+            ),
         )
 
     def snapshot_restore_ns(self, resident_bytes: int) -> float:
         mib = resident_bytes / MIB * self.scale
-        return self._const(
-            self.snapshot_restore_base_ns + mib * self.snapshot_restore_per_mib_ns
+        return self.charge(
+            "snapshot_restore",
+            self._const(
+                self.snapshot_restore_base_ns + mib * self.snapshot_restore_per_mib_ns
+            ),
         )
 
     # --- guest kernel ------------------------------------------------------------
 
-    def kernel_boot_ns(self, base_ms: float, mem_mib: int) -> tuple[float, float]:
-        """Split guest kernel boot into (memory-init, remaining-init) charges.
+    def kernel_mem_init_ns(self, mem_mib: int) -> float:
+        """Early-kernel memory init (memblock, struct-page) for ``mem_mib``."""
+        return self.charge(
+            "kernel_mem_init",
+            self._const(mem_mib * self.kernel_mem_init_per_mib_ns),
+        )
+
+    def kernel_init_ns(self, base_ms: float) -> float:
+        """The config-dependent remainder of the guest kernel's own boot.
 
         ``base_ms`` comes from the kernel config (it depends only on how
         much subsystem bring-up the config compiles in, not on
         randomization — Section 5.1 notes Linux Boot varies at most 4%
         across variants).
         """
-        mem_ns = self._const(mem_mib * self.kernel_mem_init_per_mib_ns)
-        base_ns = self._const(base_ms * 1e6)
-        return mem_ns, base_ns
+        return self.charge("kernel_init", self._const(base_ms * 1e6))
+
+    def kernel_boot_ns(self, base_ms: float, mem_mib: int) -> tuple[float, float]:
+        """Compat wrapper: (memory-init, remaining-init) in one call.
+
+        Draw order matches the split methods (memory first), so seeded
+        jitter streams are unchanged either way.
+        """
+        return self.kernel_mem_init_ns(mem_mib), self.kernel_init_ns(base_ms)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.layout_result import LayoutResult
 from repro.core.policy import RandomizationPolicy
@@ -31,6 +31,7 @@ from repro.simtime.clock import SimClock
 from repro.simtime.costs import CostModel
 from repro.simtime.trace import BootCategory, BootStep
 from repro.telemetry import Telemetry, get_telemetry
+from repro.telemetry.profiler import CostProfiler
 
 
 @dataclass
@@ -62,14 +63,30 @@ class SnapshotManager:
     policy: RandomizationPolicy = field(default_factory=RandomizationPolicy)
     #: None means "use the process-wide default at call time"
     telemetry: Telemetry | None = None
+    #: cost-attribution sink for restore pipelines (see telemetry.profiler)
+    profiler: CostProfiler | None = None
 
     def _telemetry(self) -> Telemetry:
         return self.telemetry if self.telemetry is not None else get_telemetry()
 
+    def _profiled_costs(self, profiler: CostProfiler | None) -> CostModel:
+        """The manager's model, bound to ``profiler`` for this operation.
+
+        ``replace`` shares the jitter instance, so the draw stream is the
+        same object the unprofiled path would use.
+        """
+        if self.costs.profiler is profiler:
+            return self.costs
+        return replace(self.costs, profiler=profiler)
+
     def capture(self, vm: MicroVm) -> Snapshot:
         """Freeze a booted VM; charges capture time on the VM's clock."""
         resident = vm.memory.resident_bytes
-        duration = self.costs.snapshot_capture_ns(resident)
+        # pair the pending cost with the clock's committing profiler (the
+        # boot's, if any) — never record on one and commit on another
+        duration = self._profiled_costs(vm.clock.profiler).snapshot_capture_ns(
+            resident
+        )
         vm.clock.charge(
             duration,
             category=BootCategory.IN_MONITOR,
@@ -120,14 +137,17 @@ class SnapshotManager:
         self, snapshot: Snapshot, rebase: bool, seed: int
     ) -> tuple[MicroVm, float]:
         telemetry = self._telemetry()
+        clock = SimClock()
+        clock.profiler = self.profiler
         ctx = StageContext(
-            clock=SimClock(),
-            costs=self.costs,
+            clock=clock,
+            costs=self._profiled_costs(self.profiler),
             rng=random.Random(seed),
             snapshot=snapshot,
             policy=self.policy,
             telemetry=telemetry,
             boot_id=f"restore:{snapshot.kernel.name}:{seed:016x}",
+            profiler=self.profiler,
         )
         build_restore_pipeline(rebase=rebase).run(ctx)
         with snapshot._lock:

@@ -41,6 +41,7 @@ from repro.telemetry.export import (
     to_json_dump,
     to_prometheus,
 )
+from repro.telemetry.profiler import CostProfiler
 from repro.telemetry.registry import (
     DEFAULT_NS_BUCKETS,
     NS_PER_MS,
@@ -174,6 +175,7 @@ def scoped_telemetry(telemetry: Telemetry | None = None) -> Iterator[Telemetry]:
 __all__ = [
     "BootEvent",
     "BootEventLog",
+    "CostProfiler",
     "Counter",
     "DEFAULT_NS_BUCKETS",
     "Gauge",

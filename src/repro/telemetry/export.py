@@ -97,6 +97,11 @@ def to_prometheus(snapshot: TelemetrySnapshot) -> str:
                     f"{family.name}_count{_fmt_labels(point.labels)} "
                     f"{point.count}"
                 )
+                lines.append(
+                    f"{family.name}_reservoir_dropped"
+                    f"{_fmt_labels(point.labels)} "
+                    f"{point.reservoir_dropped or 0}"
+                )
             else:
                 lines.append(
                     f"{family.name}{_fmt_labels(point.labels)} "
@@ -138,6 +143,27 @@ def to_chrome_trace(snapshot: TelemetrySnapshot) -> dict:
                 "tid": worker,
                 "name": "thread_name",
                 "args": {"name": f"worker-{worker}"},
+            }
+        )
+
+    saturated = sorted(
+        {
+            family.name
+            for family in snapshot.metrics
+            for point in family.points
+            if point.reservoir_saturated
+        }
+    )
+    if saturated:
+        # percentile slices downstream are estimates, not exact ranks —
+        # flag it in the trace rather than silently degrading
+        trace_events.append(
+            {
+                "ph": "M",
+                "pid": TRACE_PID,
+                "tid": 0,
+                "name": "reservoir_saturated",
+                "args": {"histograms": saturated},
             }
         )
 
@@ -204,6 +230,11 @@ def to_json_dump(snapshot: TelemetrySnapshot) -> dict:
                 ]
                 entry["count"] = point.count
                 entry["percentiles"] = dict(point.percentiles or ())
+                entry["reservoir"] = {
+                    "size": point.reservoir_size,
+                    "dropped": point.reservoir_dropped or 0,
+                    "saturated": point.reservoir_saturated,
+                }
             points.append(entry)
         metrics.append(
             {

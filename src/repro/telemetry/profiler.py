@@ -1,0 +1,288 @@
+"""Deterministic cost-attribution profiler.
+
+The paper produces its Figure 5/6 breakdowns from ftrace-style
+tracepoints; the reproduction's equivalent is this module.  A
+:class:`CostProfiler` attributes **every simulated nanosecond** of a boot
+to a context stack
+
+    boot id -> pipeline stage -> principal -> charge kind
+
+where the charge kind is the :class:`~repro.simtime.costs.CostModel`
+method that produced the cost (``disk_read``, ``reloc_apply``,
+``kernel_mem_init``, ...; see :data:`repro.simtime.costs.CHARGE_KINDS`).
+
+Mechanics — two hooks, one invariant:
+
+* cost methods report their raw float result through
+  ``CostModel.charge(kind, ns)`` -> :meth:`CostProfiler.record_cost`,
+  which parks ``(kind, ns)`` on a thread-local *pending* list;
+* the clock's charge (:meth:`repro.simtime.clock.SimClock.charge`)
+  rounds to whole nanoseconds and calls :meth:`CostProfiler.commit`,
+  which apportions the **rounded** duration across the pending records
+  by largest remainder.
+
+Because attribution happens at commit time with the clock's own integer
+duration, the profiler's totals equal the clock's elapsed time *exactly*
+— rounding, combined charges (several cost calls paid by one clock
+charge), and charges with no cost call at all (attributed as
+``uncosted.<step>``) are all covered by construction.
+
+Fleet boots run concurrently, but each boot runs wholly on one worker
+thread, so the context stack and pending list are thread-local; the
+accumulated cells are merged under a lock and all renderers emit
+canonically sorted output, making seeded runs byte-identical regardless
+of thread interleaving.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+#: frame placeholders for charges outside a boot / pipeline stage
+NO_BOOT = "-"
+NO_STAGE = "(outside-pipeline)"
+NO_PRINCIPAL = "-"
+#: kind prefix for clock charges no cost method produced
+UNCOSTED_PREFIX = "uncosted."
+
+NS_PER_MS = 1e6
+
+
+@dataclass(frozen=True)
+class ChargeKey:
+    """One attribution cell's identity."""
+
+    boot_id: str
+    stage: str
+    principal: str
+    kind: str
+
+    def folded(self, with_boot: bool) -> str:
+        parts = [self.stage, self.principal, self.kind]
+        if with_boot:
+            parts.insert(0, self.boot_id)
+        return ";".join(parts)
+
+
+def _apportion(
+    pending: list[tuple[str, float]], total_ns: int
+) -> list[tuple[str, int]]:
+    """Split ``total_ns`` across pending costs by largest remainder.
+
+    Deterministic (ties break on list order) and exact: the integer
+    shares always sum to ``total_ns``.
+    """
+    weights = [max(0.0, ns) for _, ns in pending]
+    weight_sum = sum(weights)
+    if weight_sum <= 0.0:
+        # all-zero costs (e.g. a zero-byte memcpy): first kind takes all
+        shares = [0] * len(pending)
+        shares[0] = total_ns
+        return [(kind, share) for (kind, _), share in zip(pending, shares)]
+    exact = [total_ns * w / weight_sum for w in weights]
+    shares = [int(e) for e in exact]
+    remainder = total_ns - sum(shares)
+    by_fraction = sorted(
+        range(len(pending)), key=lambda i: (-(exact[i] - shares[i]), i)
+    )
+    for i in by_fraction[:remainder]:
+        shares[i] += 1
+    return [(kind, share) for (kind, _), share in zip(pending, shares)]
+
+
+class CostProfiler:
+    """Accumulates exact per-(boot, stage, principal, kind) attributions."""
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        #: ChargeKey -> [ns_total, call_count]
+        self._cells: dict[ChargeKey, list[int]] = {}
+        #: boot id -> committed ns (every commit, frame or not)
+        self._boot_ns: dict[str, int] = {}
+
+    # -- thread-local context --------------------------------------------------
+
+    def _state(self):
+        state = self._local
+        if not hasattr(state, "frames"):
+            state.frames = []
+            state.pending = []
+        return state
+
+    @contextmanager
+    def boot_frame(self, boot_id: str) -> Iterator[None]:
+        """Attribute charges inside the block to ``boot_id``."""
+        state = self._state()
+        state.frames.append((boot_id, NO_STAGE, NO_PRINCIPAL))
+        try:
+            yield
+        finally:
+            state.frames.pop()
+
+    @contextmanager
+    def stage_frame(self, stage: str, principal: str) -> Iterator[None]:
+        """Attribute charges inside the block to a pipeline stage."""
+        state = self._state()
+        boot = state.frames[-1][0] if state.frames else NO_BOOT
+        state.frames.append((boot, stage, principal))
+        try:
+            yield
+        finally:
+            state.frames.pop()
+
+    # -- the two hooks ---------------------------------------------------------
+
+    def record_cost(self, kind: str, ns: float) -> None:
+        """Park one cost-method result until the clock commits it."""
+        self._state().pending.append((kind, float(ns)))
+
+    def commit(self, duration_ns: int, step: str) -> None:
+        """Attribute one rounded clock charge across the pending costs."""
+        state = self._state()
+        pending, state.pending = state.pending, []
+        if state.frames:
+            boot, stage, principal = state.frames[-1]
+        else:
+            boot, stage, principal = NO_BOOT, NO_STAGE, NO_PRINCIPAL
+        if pending:
+            shares = _apportion(pending, duration_ns)
+        else:
+            shares = [(UNCOSTED_PREFIX + step, duration_ns)]
+        with self._lock:
+            self._boot_ns[boot] = self._boot_ns.get(boot, 0) + duration_ns
+            for kind, share in shares:
+                cell = self._cells.setdefault(
+                    ChargeKey(boot, stage, principal, kind), [0, 0]
+                )
+                cell[0] += share
+                cell[1] += 1
+
+    # -- accessors -------------------------------------------------------------
+
+    def boot_ids(self) -> list[str]:
+        with self._lock:
+            return sorted(self._boot_ns)
+
+    def total_ns(self, boot_id: str | None = None) -> int:
+        """Attributed ns for one boot (or across every boot)."""
+        with self._lock:
+            if boot_id is None:
+                return sum(self._boot_ns.values())
+            return self._boot_ns.get(boot_id, 0)
+
+    def cells(self) -> list[tuple[ChargeKey, int, int]]:
+        """Every attribution cell as (key, ns, count), canonically sorted."""
+        with self._lock:
+            items = [(k, v[0], v[1]) for k, v in self._cells.items()]
+        items.sort(key=lambda item: (
+            item[0].boot_id, item[0].stage, item[0].principal, item[0].kind
+        ))
+        return items
+
+    # -- renderers -------------------------------------------------------------
+
+    def to_folded(self, per_boot: bool = False) -> str:
+        """Flamegraph-compatible folded stacks (``stack ns`` lines).
+
+        By default boots are aggregated (the fleet view a flamegraph
+        wants); ``per_boot=True`` keeps one stack family per boot id.
+        Output is canonically sorted, so seeded runs are byte-identical.
+        """
+        merged: dict[str, int] = {}
+        for key, ns, _count in self.cells():
+            stack = key.folded(with_boot=per_boot)
+            merged[stack] = merged.get(stack, 0) + ns
+        return "".join(
+            f"{stack} {ns}\n" for stack, ns in sorted(merged.items())
+        )
+
+    def to_json(self) -> str:
+        """Machine-readable dump: per-boot totals plus every cell."""
+        boots: dict[str, dict] = {}
+        for key, ns, count in self.cells():
+            entry = boots.setdefault(
+                key.boot_id, {"total_ns": self.total_ns(key.boot_id), "cells": []}
+            )
+            entry["cells"].append(
+                {
+                    "stage": key.stage,
+                    "principal": key.principal,
+                    "kind": key.kind,
+                    "ns": ns,
+                    "calls": count,
+                }
+            )
+        kinds: dict[str, int] = {}
+        for key, ns, _count in self.cells():
+            kinds[key.kind] = kinds.get(key.kind, 0) + ns
+        payload = {
+            "total_ns": self.total_ns(),
+            "boots": boots,
+            "kinds_ns": dict(sorted(kinds.items())),
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    def to_table(self) -> str:
+        """Self/cumulative text tables over the aggregated boots."""
+        total = self.total_ns()
+        if total == 0:
+            return "no attributed cost (profiler saw no charges)\n"
+        n_boots = len([b for b in self.boot_ids() if b != NO_BOOT]) or 1
+
+        # self time per (stage, principal, kind), aggregated over boots
+        self_rows: dict[tuple[str, str, str], list[int]] = {}
+        stage_rows: dict[tuple[str, str], int] = {}
+        for key, ns, count in self.cells():
+            cell = self_rows.setdefault(
+                (key.stage, key.principal, key.kind), [0, 0]
+            )
+            cell[0] += ns
+            cell[1] += count
+            stage_key = (key.stage, key.principal)
+            stage_rows[stage_key] = stage_rows.get(stage_key, 0) + ns
+
+        lines = [
+            f"cost attribution: {total / NS_PER_MS:.3f} ms "
+            f"across {n_boots} boot(s)",
+            "",
+            "-- self time by charge kind --",
+            f"{'stage':<20} {'principal':<9} {'kind':<24} "
+            f"{'ms':>12} {'%':>6} {'calls':>7}",
+        ]
+        ordered = sorted(
+            self_rows.items(), key=lambda item: (-item[1][0], item[0])
+        )
+        for (stage, principal, kind), (ns, count) in ordered:
+            lines.append(
+                f"{stage:<20} {principal:<9} {kind:<24} "
+                f"{ns / NS_PER_MS:>12.3f} {100.0 * ns / total:>5.1f}% "
+                f"{count:>7}"
+            )
+        lines += [
+            "",
+            "-- cumulative by stage --",
+            f"{'stage':<20} {'principal':<9} {'ms':>12} {'%':>6}",
+        ]
+        for (stage, principal), ns in sorted(
+            stage_rows.items(), key=lambda item: (-item[1], item[0])
+        ):
+            lines.append(
+                f"{stage:<20} {principal:<9} "
+                f"{ns / NS_PER_MS:>12.3f} {100.0 * ns / total:>5.1f}%"
+            )
+        return "\n".join(lines) + "\n"
+
+    def render(self, fmt: str, per_boot: bool = False) -> str:
+        """Dispatch on an output format name: folded | json | table."""
+        if fmt == "folded":
+            return self.to_folded(per_boot=per_boot)
+        if fmt == "json":
+            return self.to_json()
+        if fmt == "table":
+            return self.to_table()
+        raise ValueError(f"unknown profile format: {fmt!r}")

@@ -204,6 +204,22 @@ class Histogram:
             samples = list(self._reservoir)
         return percentile(samples, q)
 
+    @property
+    def reservoir_dropped(self) -> int:
+        """Observations no longer represented exactly by the reservoir.
+
+        Zero until the reservoir saturates; past that, exactly
+        ``count - reservoir_size`` — the number of samples the percentile
+        estimate had to survive by random eviction.
+        """
+        with self._lock:
+            return self._count - len(self._reservoir)
+
+    @property
+    def reservoir_saturated(self) -> bool:
+        """True once percentiles are estimates rather than exact ranks."""
+        return self.reservoir_dropped > 0
+
 
 @dataclass(frozen=True)
 class MetricPoint:
@@ -216,6 +232,13 @@ class MetricPoint:
     buckets: tuple[tuple[float, int], ...] | None = None
     count: int | None = None
     percentiles: tuple[tuple[str, float], ...] | None = None
+    reservoir_size: int | None = None
+    reservoir_dropped: int | None = None
+
+    @property
+    def reservoir_saturated(self) -> bool:
+        """True when the reservoir evicted samples (percentiles inexact)."""
+        return bool(self.reservoir_dropped)
 
 
 @dataclass(frozen=True)
@@ -310,6 +333,8 @@ class MetricsRegistry:
                         (f"p{q:g}", metric.percentile(q) / metric.scale)
                         for q in RESERVOIR_PERCENTILES
                     ),
+                    reservoir_size=metric.reservoir_size,
+                    reservoir_dropped=metric.reservoir_dropped,
                 )
             else:
                 point = MetricPoint(labels=labels, value=metric.value)

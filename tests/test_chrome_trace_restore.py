@@ -1,0 +1,94 @@
+"""Chrome trace exporter over snapshot-restore pipeline boots.
+
+Restores run the same staged pipeline as cold boots (``snapshot_restore``
+[+ ``rebase``] stages under a ``restore:`` boot id), so their slices must
+render the same way: on the admitted worker track, shifted into — and
+contained by — the boot's wall window.
+"""
+
+from __future__ import annotations
+
+from repro.core import RandomizeMode
+from repro.host import HostStorage
+from repro.monitor import Firecracker, VmConfig
+from repro.simtime import CostModel
+from repro.snapshot.checkpoint import SnapshotManager
+from repro.telemetry import Telemetry, to_chrome_trace
+
+
+def _restored(tiny_kaslr, rebase):
+    telemetry = Telemetry()
+    vmm = Firecracker(HostStorage(), CostModel(scale=1), telemetry=telemetry)
+    cfg = VmConfig(kernel=tiny_kaslr, randomize=RandomizeMode.KASLR, seed=9)
+    _report, vm = vmm.boot_vm(cfg)
+    manager = SnapshotManager(costs=CostModel(scale=1), telemetry=telemetry)
+    snapshot = manager.capture(vm)
+    if rebase:
+        clone, latency_ms = manager.restore_rebased(snapshot, seed=77)
+    else:
+        clone, latency_ms = manager.restore(snapshot)
+    return telemetry, clone, latency_ms
+
+
+def _slices(trace, boot_id):
+    return [
+        e
+        for e in trace["traceEvents"]
+        if e["ph"] == "X" and e["args"].get("boot_id") == boot_id
+    ]
+
+
+def test_restore_stages_render_without_admission(tiny_kaslr):
+    """A standalone restore lands on track 0 at boot-local times."""
+    telemetry, clone, latency_ms = _restored(tiny_kaslr, rebase=True)
+    restore_id = f"restore:{clone.kernel.name}:{77:016x}"
+    trace = to_chrome_trace(telemetry.snapshot())
+
+    stage_slices = [
+        e for e in _slices(trace, restore_id) if e["cat"] != "boot"
+    ]
+    assert [e["name"] for e in stage_slices] == ["snapshot_restore", "rebase"]
+    assert all(e["tid"] == 0 for e in stage_slices)
+    # boot-local: first stage starts at ts 0, slices tile the restore
+    assert stage_slices[0]["ts"] == 0
+    total_us = sum(e["dur"] for e in stage_slices)
+    assert total_us == latency_ms * 1e3
+
+
+def test_restore_slices_nest_inside_boot_wall_window(tiny_kaslr):
+    """With an admission window, restore slices shift onto its track."""
+    telemetry, clone, latency_ms = _restored(tiny_kaslr, rebase=False)
+    restore_id = f"restore:{clone.kernel.name}:{0:016x}"
+    window_start_ns = 5_000_000
+    telemetry.boot_window(
+        restore_id,
+        worker=3,
+        start_ns=window_start_ns,
+        duration_ns=clone.clock.now_ns,
+        detail="zygote acquisition",
+    )
+    trace = to_chrome_trace(telemetry.snapshot())
+
+    boot_slices = [e for e in _slices(trace, restore_id) if e["cat"] == "boot"]
+    stage_slices = [
+        e for e in _slices(trace, restore_id) if e["cat"] != "boot"
+    ]
+    assert len(boot_slices) == 1
+    window = boot_slices[0]
+    assert window["tid"] == 3
+    assert window["ts"] == window_start_ns / 1e3
+
+    assert [e["name"] for e in stage_slices] == ["snapshot_restore"]
+    for event in stage_slices:
+        # every stage slice rides the admitted worker's track and sits
+        # fully inside the boot's wall window
+        assert event["tid"] == 3
+        assert event["ts"] >= window["ts"]
+        assert event["ts"] + event["dur"] <= window["ts"] + window["dur"]
+    # the restore worker got a named thread track
+    names = [
+        e["args"]["name"]
+        for e in trace["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    ]
+    assert "worker-3" in names

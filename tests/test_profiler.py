@@ -1,0 +1,189 @@
+"""Cost-attribution profiler: exact accounting and determinism.
+
+The headline invariant (profiler totals == clock elapsed time, to the
+nanosecond) is structural — commits apportion the clock's own rounded
+duration — so these tests sweep it across every monitor flavor,
+randomization mode, and the snapshot restore path, then pin the
+byte-identical-output guarantee the folded renderer makes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.artifacts import get_kernel
+from repro.core import RandomizeMode
+from repro.host import HostStorage
+from repro.kernel import TINY, KernelVariant
+from repro.monitor import Firecracker, FleetManager, Qemu, VmConfig
+from repro.simtime import CostModel, JitterModel
+from repro.snapshot.checkpoint import SnapshotManager
+from repro.telemetry import CostProfiler, Telemetry
+from repro.telemetry.profiler import NO_BOOT, UNCOSTED_PREFIX, _apportion
+from repro.unikernel import UnikernelMonitor
+
+_VARIANTS = {
+    RandomizeMode.NONE: KernelVariant.NOKASLR,
+    RandomizeMode.KASLR: KernelVariant.KASLR,
+    RandomizeMode.FGKASLR: KernelVariant.FGKASLR,
+}
+
+
+def _boot_profiled(monitor_cls, mode, *, jitter=False):
+    profiler = CostProfiler()
+    jm = JitterModel(sigma=0.03, seed=5) if jitter else JitterModel(sigma=0.0)
+    vmm = monitor_cls(
+        HostStorage(),
+        CostModel(scale=1, jitter=jm),
+        telemetry=Telemetry(),
+        profiler=profiler,
+    )
+    kernel = get_kernel(TINY, _VARIANTS[mode], scale=1, seed=3)
+    report, vm = vmm.boot_vm(VmConfig(kernel=kernel, randomize=mode, seed=9))
+    return profiler, report, vm
+
+
+# -- the exact-attribution invariant ----------------------------------------
+
+
+@pytest.mark.parametrize("monitor_cls", [Firecracker, Qemu, UnikernelMonitor])
+@pytest.mark.parametrize("mode", list(_VARIANTS))
+def test_every_simulated_ns_is_attributed(monitor_cls, mode):
+    profiler, _report, vm = _boot_profiled(monitor_cls, mode)
+    (boot_id,) = profiler.boot_ids()
+    assert profiler.total_ns(boot_id) == vm.clock.now_ns
+    assert profiler.total_ns() == vm.clock.now_ns
+    assert vm.clock.now_ns > 0
+
+
+@pytest.mark.parametrize("mode", list(_VARIANTS))
+def test_attribution_exact_under_jitter(mode):
+    """Rounding float jitter to whole ns never loses or invents time."""
+    profiler, _report, vm = _boot_profiled(Firecracker, mode, jitter=True)
+    (boot_id,) = profiler.boot_ids()
+    assert profiler.total_ns(boot_id) == vm.clock.now_ns
+    assert sum(ns for _key, ns, _count in profiler.cells()) == vm.clock.now_ns
+
+
+def test_pipeline_boot_has_no_uncosted_time():
+    """Every nanosecond of a pipeline boot pairs with a cost method.
+
+    Zero-duration milestone charges (``exec /sbin/init``) legitimately
+    have no cost call; what must never appear is uncosted *time*.
+    """
+    profiler, _report, _vm = _boot_profiled(Firecracker, RandomizeMode.FGKASLR)
+    assert profiler.cells()
+    uncosted = [
+        (key, ns)
+        for key, ns, _count in profiler.cells()
+        if key.kind.startswith(UNCOSTED_PREFIX) and ns > 0
+    ]
+    assert not uncosted
+
+
+def test_attribution_contexts_cover_pipeline_stages():
+    profiler, _report, _vm = _boot_profiled(Firecracker, RandomizeMode.FGKASLR)
+    stages = {key.stage for key, _ns, _count in profiler.cells()}
+    principals = {key.principal for key, _ns, _count in profiler.cells()}
+    assert {"monitor_startup", "randomize_load", "linux_boot"} <= stages
+    assert {"monitor", "kernel"} <= principals
+
+
+def test_post_boot_charges_attributed_outside_frames():
+    """Module loads after boot still balance, under the no-boot bucket."""
+    from repro.kernel.modules import build_module
+
+    profiler, _report, vm = _boot_profiled(Firecracker, RandomizeMode.FGKASLR)
+    booted_ns = vm.clock.now_ns
+    vm.load_module(build_module("virtio_net", vm.kernel, seed=4), seed=99)
+    assert vm.clock.now_ns > booted_ns
+    assert profiler.total_ns() == vm.clock.now_ns
+    assert profiler.total_ns(NO_BOOT) == vm.clock.now_ns - booted_ns
+
+
+def test_snapshot_restore_is_fully_attributed(tiny_kaslr):
+    telemetry = Telemetry()
+    profiler = CostProfiler()
+    vmm = Firecracker(
+        HostStorage(), CostModel(scale=1), telemetry=telemetry,
+        profiler=profiler,
+    )
+    cfg = VmConfig(kernel=tiny_kaslr, randomize=RandomizeMode.KASLR, seed=9)
+    _report, vm = vmm.boot_vm(cfg)
+    manager = SnapshotManager(
+        costs=CostModel(scale=1), telemetry=telemetry, profiler=profiler
+    )
+    snapshot = manager.capture(vm)  # charged on the boot's own clock
+    clone, _ms = manager.restore_rebased(snapshot, seed=77)
+    restore_ids = [b for b in profiler.boot_ids() if b.startswith("restore:")]
+    assert len(restore_ids) == 1
+    assert profiler.total_ns(restore_ids[0]) == clone.clock.now_ns
+    assert profiler.total_ns() == vm.clock.now_ns + clone.clock.now_ns
+
+
+# -- determinism ------------------------------------------------------------
+
+
+def _profiled_fleet(kernel):
+    profiler = CostProfiler()
+    vmm = Firecracker(
+        HostStorage(), CostModel(scale=1), telemetry=Telemetry(),
+        profiler=profiler,
+    )
+    manager = FleetManager(vmm, workers=3, telemetry=vmm.telemetry)
+    cfg = VmConfig(kernel=kernel, randomize=RandomizeMode.FGKASLR)
+    manager.launch(cfg, 6, fleet_seed=21)
+    return profiler
+
+
+def test_folded_output_byte_identical_across_runs(tiny_fgkaslr):
+    first = _profiled_fleet(tiny_fgkaslr)
+    second = _profiled_fleet(tiny_fgkaslr)
+    for per_boot in (False, True):
+        folded = first.to_folded(per_boot=per_boot)
+        assert folded == second.to_folded(per_boot=per_boot)
+        assert folded  # non-trivial output
+        for line in folded.strip().splitlines():
+            stack, ns = line.rsplit(" ", 1)
+            assert int(ns) >= 0
+            assert len(stack.split(";")) == (4 if per_boot else 3)
+    assert first.to_json() == second.to_json()
+    assert first.to_table() == second.to_table()
+    # fleet totals balance too: per-boot sums equal the grand total
+    assert sum(first.total_ns(b) for b in first.boot_ids()) == first.total_ns()
+
+
+def test_render_dispatch_and_unknown_format():
+    profiler = CostProfiler()
+    assert profiler.render("folded") == ""
+    assert "no attributed cost" in profiler.render("table")
+    with pytest.raises(ValueError):
+        profiler.render("svg")
+
+
+# -- apportioning unit behavior ---------------------------------------------
+
+
+def test_apportion_is_exact_and_deterministic():
+    pending = [("a", 1.0), ("b", 1.0), ("c", 1.0)]
+    shares = _apportion(pending, 100)
+    assert sum(ns for _, ns in shares) == 100
+    # ties break on list order: the first kinds absorb the remainder
+    assert shares == [("a", 34), ("b", 33), ("c", 33)]
+    assert _apportion(pending, 100) == shares
+
+
+def test_apportion_handles_zero_and_negative_weights():
+    assert _apportion([("a", 0.0), ("b", 0.0)], 7) == [("a", 7), ("b", 0)]
+    shares = _apportion([("a", -5.0), ("b", 10.0)], 9)
+    assert shares == [("a", 0), ("b", 9)]
+
+
+def test_uncharged_clock_event_becomes_uncosted():
+    profiler = CostProfiler()
+    with profiler.boot_frame("b"):
+        profiler.commit(42, "guest_entry")
+    ((key, ns, count),) = profiler.cells()
+    assert key.kind == UNCOSTED_PREFIX + "guest_entry"
+    assert (ns, count) == (42, 1)
+    assert profiler.total_ns("b") == 42

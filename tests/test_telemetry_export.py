@@ -108,6 +108,38 @@ def test_prometheus_count_matches_bucket_inf():
     assert "repro_h_ms_sum 5055" in text
 
 
+def test_exporters_surface_reservoir_saturation():
+    telemetry = Telemetry()
+    h = telemetry.registry.histogram("repro_sat_ms", help="h")
+    h.reservoir_size = 4  # shrink so saturating stays cheap
+    for value in range(10):
+        h.observe(value)
+    snapshot = telemetry.snapshot()
+
+    assert "repro_sat_ms_reservoir_dropped 6" in to_prometheus(snapshot)
+
+    (entry,) = to_json_dump(snapshot)["metrics"][0]["points"]
+    assert entry["reservoir"] == {"size": 4, "dropped": 6, "saturated": True}
+
+    metadata = [
+        e for e in to_chrome_trace(snapshot)["traceEvents"]
+        if e["name"] == "reservoir_saturated"
+    ]
+    assert len(metadata) == 1
+    assert metadata[0]["ph"] == "M"
+    assert metadata[0]["args"]["histograms"] == ["repro_sat_ms"]
+
+
+def test_exporters_quiet_while_reservoir_exact(tiny_fgkaslr):
+    telemetry, _ = _seeded_fleet(tiny_fgkaslr)
+    snapshot = telemetry.snapshot()
+    assert "_reservoir_dropped 0" in to_prometheus(snapshot)
+    assert not [
+        e for e in to_chrome_trace(snapshot)["traceEvents"]
+        if e["name"] == "reservoir_saturated"
+    ]
+
+
 # -- chrome trace schema ----------------------------------------------------
 
 

@@ -82,6 +82,31 @@ def test_histogram_percentiles_exact_under_reservoir_cap():
     assert h.percentile(99) == 99.0
 
 
+def test_reservoir_tracks_saturation_exactly():
+    h = Histogram("repro_test_ms", buckets=DEFAULT_NS_BUCKETS, reservoir_size=8)
+    for value in range(8):
+        h.observe(value)
+    assert h.reservoir_dropped == 0
+    assert not h.reservoir_saturated
+    for value in range(5):
+        h.observe(value)
+    # past the cap, every extra observation is one dropped sample
+    assert h.reservoir_dropped == 5
+    assert h.reservoir_saturated
+    assert h.count == 13
+
+
+def test_collect_carries_reservoir_state():
+    reg = MetricsRegistry()
+    h = reg.histogram("repro_test_ms")
+    h.observe(1)
+    (family,) = reg.collect()
+    (point,) = family.points
+    assert point.reservoir_size == h.reservoir_size
+    assert point.reservoir_dropped == 0
+    assert not point.reservoir_saturated
+
+
 def test_default_ns_buckets_are_125_decades():
     assert DEFAULT_NS_BUCKETS[0] == 1_000
     assert DEFAULT_NS_BUCKETS[:3] == (1_000, 2_000, 5_000)
