@@ -2,8 +2,8 @@
 
 PYTHON ?= python3
 
-.PHONY: install test metrics-smoke bench bench-paper bench-gate bench-clean \
-	fleet-bench examples clean
+.PHONY: install test metrics-smoke faults-smoke bench bench-paper bench-gate \
+	bench-clean fleet-bench examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -15,6 +15,11 @@ test:
 # boot + small fleet, export prometheus/chrome/json telemetry, validate
 metrics-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.tools.metrics_smoke
+
+# jitter-free fault matrix through the CLI: containment, retries,
+# byte-identical determinism, zero-overhead-when-disabled
+faults-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.tools.faults_smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -21,6 +21,12 @@ Other subcommands::
     python -m repro codecs  --kernel lupine   # compression stats
     python -m repro lebench                   # Figure 11 summary
     python -m repro entropy --kernel aws      # randomization entropy / leaks
+    python -m repro faults                    # injectable fault kinds/stages
+
+``boot`` and ``fleet`` accept ``--inject-fault
+stage=<s>,kind=<k>[,rate=<r>][,seed=<n>][,boot=<i>]`` (repeatable) for
+deterministic failure-containment runs; ``fleet`` adds ``--retries N``
+(per-boot retry budget, fresh seed per retry).
 
 All times are simulated milliseconds at paper scale (see DESIGN.md §7).
 """
@@ -36,9 +42,12 @@ from repro.analysis import render_table, run_boots
 from repro.artifacts import get_bzimage, get_kernel
 from repro.compress import measure as measure_codec
 from repro.core import RandomizeMode
+from repro.errors import BootFailure, FaultPlanError
+from repro.faults import FAULT_KINDS, FaultPlan
 from repro.host import HostStorage
 from repro.kernel import PRESETS, KernelVariant
 from repro.monitor import BootFormat, BootProtocol, Firecracker, Qemu, VmConfig
+from repro.pipeline import PIPELINE_FLAVORS
 from repro.simtime import CostModel, JitterModel
 from repro.telemetry import (
     Telemetry,
@@ -62,7 +71,25 @@ def _make_vmm(
 ) -> Firecracker:
     costs = CostModel(scale=args.scale, jitter=JitterModel(sigma=args.jitter))
     cls = Qemu if getattr(args, "qemu", False) else Firecracker
-    return cls(HostStorage(), costs, telemetry=telemetry, profiler=profiler)
+    return cls(
+        HostStorage(),
+        costs,
+        telemetry=telemetry,
+        profiler=profiler,
+        fault_plan=_make_fault_plan(args),
+    )
+
+
+def _make_fault_plan(args) -> FaultPlan | None:
+    """Parse every ``--inject-fault`` spec; None when the flag is absent.
+
+    No plan object exists at all without the flag, preserving the
+    zero-overhead (byte-identical output) contract for ordinary runs.
+    """
+    specs = getattr(args, "inject_fault", None)
+    if not specs:
+        return None
+    return FaultPlan.parse(specs, seed=getattr(args, "fault_seed", 0))
 
 
 def _make_profiler(args) -> CostProfiler | None:
@@ -166,7 +193,21 @@ def _cmd_boot(args) -> int:
         vmm.warm_caches(cfg)
     else:
         cfg.drop_caches = True
-    report = vmm.boot(cfg)
+    try:
+        report = vmm.boot(cfg)
+    except BootFailure as exc:
+        # contained: report the attributed failure instead of a traceback
+        if args.json:
+            print(json.dumps({"failure": exc.to_json()}, indent=2))
+        else:
+            print(
+                f"boot failed at stage {exc.stage} ({exc.kind}, "
+                f"attempt {exc.attempt}): {exc}",
+                file=sys.stderr,
+            )
+        _emit_telemetry(args, telemetry)
+        _emit_profile(args, profiler)
+        return 1
     if args.json:
         print(json.dumps(report.to_json(), indent=2))
         _emit_telemetry(args, telemetry)
@@ -213,7 +254,11 @@ def _run_fleet(args):
     cfg.seed = None  # per-instance seeds come from the fleet manager
     manager = FleetManager(vmm, workers=args.workers)
     report = manager.launch(
-        cfg, args.count, fleet_seed=args.seed, warm=not args.cold
+        cfg,
+        args.count,
+        fleet_seed=args.seed,
+        warm=not args.cold,
+        retries=getattr(args, "retries", 1),
     )
     return report, telemetry, profiler
 
@@ -226,6 +271,11 @@ def _cmd_fleet(args) -> int:
         _emit_profile(args, profiler)
         return 0
     print(report.summary())
+    for failure in report.failures:
+        print(
+            f"  boot {failure.index} failed at {failure.stage} "
+            f"({failure.kind}, attempt {failure.attempt}): {failure}"
+        )
     if args.trace and report.boots:
         first = report.boots[0].report
         print(
@@ -414,6 +464,44 @@ def _add_fleet_options(parser: argparse.ArgumentParser) -> None:
                         help="boot-artifact cache capacity")
     parser.add_argument("--cold", action="store_true",
                         help="skip warm-up (measure cold caches)")
+    _add_fault_flags(parser)
+    parser.add_argument("--retries", type=int, default=1,
+                        help="retry budget per failed boot (default 1)")
+
+
+def _add_fault_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--inject-fault", action="append", metavar="SPEC", default=None,
+        help="deterministic fault spec "
+             "stage=<s>,kind=<k>[,rate=<r>][,seed=<n>][,boot=<i>] "
+             "(repeatable; see 'repro faults' for stages and kinds)",
+    )
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        help="fault-plan seed (decorrelates rate draws)")
+
+
+def _cmd_faults(args) -> int:
+    """List the injectable fault kinds and the stage names they can target."""
+    if args.json:
+        print(json.dumps(
+            {"kinds": FAULT_KINDS,
+             "stages": {k: list(v) for k, v in PIPELINE_FLAVORS.items()}},
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    print(render_table(
+        ["kind", "effect"],
+        [[kind, desc] for kind, desc in sorted(FAULT_KINDS.items())],
+        title="injectable fault kinds",
+    ))
+    print(render_table(
+        ["pipeline", "stages"],
+        [[flavor, " ".join(stages)]
+         for flavor, stages in PIPELINE_FLAVORS.items()],
+        title="stage names by pipeline flavor",
+    ))
+    print("spec syntax: stage=<s>,kind=<k>[,rate=<r>][,seed=<n>][,boot=<i>]")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -451,6 +539,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="emit the full boot report as JSON")
     boot.add_argument("--trace", action="store_true",
                       help="print the pipeline stage span table")
+    _add_fault_flags(boot)
     _add_telemetry_flags(boot)
     boot.set_defaults(func=_cmd_boot)
 
@@ -526,12 +615,24 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--boots", type=int, default=20)
     experiment.set_defaults(func=_cmd_experiment)
 
+    faults = sub.add_parser(
+        "faults",
+        help="list injectable fault kinds and targetable stage names",
+    )
+    faults.add_argument("--json", action="store_true",
+                        help="emit the listing as JSON")
+    faults.set_defaults(func=_cmd_faults)
+
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except FaultPlanError as exc:
+        print(f"bad --inject-fault spec: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

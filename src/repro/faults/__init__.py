@@ -1,0 +1,24 @@
+"""Deterministic fault injection and failure containment.
+
+The paper's instantiation-rate story (Section 6) assumes a monitor that
+keeps serving a fleet even when individual guests misbehave; this package
+supplies the misbehaving guests.  A seeded :class:`FaultPlan` fires typed
+faults at boot-pipeline stage boundaries, and the failure taxonomy in
+:mod:`repro.errors` (:class:`~repro.errors.BootFailure`,
+:class:`~repro.errors.InjectedFault`, :func:`~repro.errors.failure_kind`)
+carries the attribution the fleet's containment layer reports.
+"""
+
+from repro.errors import BootFailure, FaultPlanError, InjectedFault, failure_kind
+from repro.faults.plan import FATAL_KINDS, FAULT_KINDS, FaultPlan, FaultSpec
+
+__all__ = [
+    "BootFailure",
+    "FATAL_KINDS",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
+    "InjectedFault",
+    "failure_kind",
+]

@@ -27,12 +27,16 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.inmonitor import RandomizeMode
 from repro.core.policy import RandomizationPolicy
 from repro.core.prepared import PreparedImage, image_digest, prepare_image
 from repro.elf.reader import ElfImage
 from repro.telemetry import MetricsRegistry, get_telemetry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.monitor.config import VmConfig
 
 #: seed class for fleets where every instance draws its own seed
 SEED_CLASS_PER_VM = "per-vm"
@@ -43,6 +47,19 @@ def policy_fingerprint(policy: RandomizationPolicy) -> str:
     return (
         f"{policy.min_offset:#x}:{policy.max_offset:#x}:"
         f"{policy.align:#x}:{int(policy.randomize_physical)}"
+    )
+
+
+def cache_key_for(cfg: "VmConfig") -> "CacheKey":
+    """The cache key a boot of ``cfg`` probes (one shared definition).
+
+    Used by the pipeline's :class:`ArtifactCacheStage` and by the fault
+    plan's ``cache-drop`` kind, so both address the same entry.
+    """
+    return CacheKey(
+        image_digest=image_digest(cfg.kernel.elf.data),
+        policy=f"{cfg.randomize}:{policy_fingerprint(cfg.policy)}",
+        seed_class=cfg.seed_class,
     )
 
 
@@ -94,7 +111,22 @@ class BootArtifactCache:
         # from caches built before the scope was installed
         return self._registry if self._registry is not None else get_telemetry().registry
 
-    def _record(self, *, hits: int = 0, misses: int = 0, evictions: int = 0) -> None:
+    def _record(
+        self,
+        *,
+        hits: int = 0,
+        misses: int = 0,
+        evictions: int = 0,
+        entries: int,
+    ) -> None:
+        """Publish one operation's metric deltas and occupancy snapshot.
+
+        ``entries`` is the occupancy captured under ``self._lock`` by the
+        caller — and every call site still *holds* the lock, so occupancy
+        publications are ordered with cache state and concurrent fleet
+        workers can never publish a stale (decreasing) gauge value.  The
+        registry's own locks are leaf locks; no path leads back here.
+        """
         registry = self._metrics()
         if hits:
             registry.counter(
@@ -110,7 +142,7 @@ class BootArtifactCache:
             ).inc(evictions)
         registry.gauge(
             "repro_cache_entries", help="Boot-artifact cache occupancy"
-        ).set(len(self._entries))
+        ).set(entries)
 
     # -- raw access ----------------------------------------------------------
 
@@ -123,7 +155,11 @@ class BootArtifactCache:
             else:
                 self._entries.move_to_end(key)
                 self._hits += 1
-        self._record(hits=prepared is not None, misses=prepared is None)
+            self._record(
+                hits=1 if prepared is not None else 0,
+                misses=1 if prepared is None else 0,
+                entries=len(self._entries),
+            )
         return prepared
 
     def insert(self, key: CacheKey, prepared: PreparedImage) -> None:
@@ -136,12 +172,23 @@ class BootArtifactCache:
                 self._entries.popitem(last=False)
                 self._evictions += 1
                 evicted += 1
-        self._record(evictions=evicted)
+            self._record(evictions=evicted, entries=len(self._entries))
+
+    def drop(self, key: CacheKey) -> bool:
+        """Remove one entry (fault injection's ``cache-drop`` kind).
+
+        Not an eviction: the LRU bound did not force it, so only the
+        occupancy gauge moves.  Returns whether the entry existed.
+        """
+        with self._lock:
+            existed = self._entries.pop(key, None) is not None
+            self._record(entries=len(self._entries))
+        return existed
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
-        self._record()
+            self._record(entries=0)
 
     # -- the fleet-facing API --------------------------------------------------
 

@@ -27,12 +27,13 @@ dependency-free :mod:`repro.telemetry.stats`.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Mapping, Sequence
 
-from repro.errors import MonitorError
+from repro.errors import BootFailure, MonitorError
 from repro.monitor.artifact_cache import BootArtifactCache, CacheStats
 from repro.monitor.config import VmConfig
 from repro.monitor.report import BootReport
@@ -120,6 +121,11 @@ class FleetReport:
     cache: CacheStats
     serial_ms: float
     makespan_ms: float
+    #: failure containment: boots that never succeeded (one terminal
+    #: :class:`~repro.errors.BootFailure` per permanently failed index)
+    #: and how many retry attempts the launch spent overall
+    failures: tuple[BootFailure, ...] = ()
+    retries: int = 0
 
     @property
     def speedup(self) -> float:
@@ -145,7 +151,7 @@ class FleetReport:
         )
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.kernel_name} fleet: {self.n_vms} VMs / {self.workers} workers"
             f" ({self.mode}) | wall {self.makespan_ms:.1f} ms"
             f" (serial {self.serial_ms:.1f}, x{self.speedup:.2f})"
@@ -153,10 +159,15 @@ class FleetReport:
             f" | cache {self.cache.hits}h/{self.cache.misses}m"
             f"/{self.cache.evictions}e ({self.cache.hit_rate * 100:.1f}% hit)"
         )
+        if self.failures or self.retries:
+            text += (
+                f" | {len(self.failures)} failed, {self.retries} retried"
+            )
+        return text
 
     def to_json(self) -> dict:
         """A JSON-serializable view of the launch (``repro fleet --json``)."""
-        return {
+        data = {
             "kernel": self.kernel_name,
             "mode": self.mode,
             "n_vms": self.n_vms,
@@ -197,6 +208,13 @@ class FleetReport:
                 for boot in self.boots
             ],
         }
+        # only fault-touched launches carry the containment keys, so a
+        # seeded launch with no plan stays byte-identical to the pre-fault
+        # JSON shape (the disabled-overhead contract)
+        if self.failures or self.retries:
+            data["failures"] = [f.to_json() for f in self.failures]
+            data["retries"] = self.retries
+        return data
 
     def stage_rows(self) -> list[list[str]]:
         """Table rows (stage, p50, p99, mean, max) for the CLI/benchmarks."""
@@ -213,6 +231,10 @@ class FleetReport:
 
 
 def _stage_latencies(reports: Sequence[BootReport]) -> dict[str, StageLatency]:
+    if not reports:
+        # every boot failed: no samples exist, and latency_summary now
+        # refuses to fabricate an all-zero row from an empty sample set
+        return {}
     totals = [report.timeline.step_totals_ns() for report in reports]
     stages: dict[str, StageLatency] = {}
     for stage, steps in FLEET_STAGES.items():
@@ -260,6 +282,7 @@ class FleetManager:
         fleet_seed: int = 0,
         seeds: Sequence[int] | None = None,
         warm: bool = True,
+        retries: int = 1,
     ) -> FleetReport:
         """Boot ``count`` instances of ``cfg``, each with its own seed.
 
@@ -268,9 +291,19 @@ class FleetManager:
         paper's warm-up boots: the host page cache and the artifact cache
         are primed before measurement, so the counters in the returned
         report cover only the fleet itself.
+
+        Failure containment: one boot raising no longer aborts the fleet.
+        Each failed boot is captured as a :class:`BootFailure` and retried
+        with a fresh seed up to ``retries`` times (seeds redrawn from a
+        dedicated ``random.Random`` stream in fleet-index order, so the
+        outcome is deterministic regardless of thread scheduling); boots
+        that exhaust the budget land in ``FleetReport.failures`` and the
+        fleet completes with the survivors.
         """
         if count < 1:
             raise MonitorError(f"fleet needs at least one VM, got {count}")
+        if retries < 0:
+            raise MonitorError(f"retry budget cannot be negative: {retries}")
         if seeds is None:
             rng = random.Random(fleet_seed)
             seeds = [rng.getrandbits(64) for _ in range(count)]
@@ -286,15 +319,21 @@ class FleetManager:
             self.vmm.warm_caches(cfg)
         before = cache.stats()
 
-        cfgs = [replace(cfg, seed=seed) for seed in seeds]
-        with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            reports = list(pool.map(self.vmm.boot, cfgs))
+        telemetry = self._telemetry()
+        seeds_used = list(seeds)
+        reports, failures, total_retries = self._boot_waves(
+            cfg, seeds_used, retries, telemetry
+        )
         after = cache.stats()
 
-        telemetry = self._telemetry()
         wall = FleetWallClock(self.workers)
         boots = []
-        for index, (seed, report) in enumerate(zip(seeds, reports)):
+        succeeded = [
+            (index, seed, report)
+            for index, (seed, report) in enumerate(zip(seeds_used, reports))
+            if report is not None
+        ]
+        for index, seed, report in succeeded:
             window = wall.schedule(report.timeline.total_ns)
             boots.append(
                 FleetBoot(
@@ -329,14 +368,16 @@ class FleetManager:
         telemetry.registry.gauge(
             "repro_fleet_rate_vms_per_s",
             help="Instantiation rate of the last fleet",
-        ).set(count / (wall.makespan_ms / 1e3) if wall.makespan_ms else 0.0)
+        ).set(
+            len(succeeded) / (wall.makespan_ms / 1e3) if wall.makespan_ms else 0.0
+        )
         return FleetReport(
             kernel_name=cfg.kernel.name,
             mode=str(cfg.randomize),
             n_vms=count,
             workers=self.workers,
             boots=tuple(boots),
-            stages=_stage_latencies(reports),
+            stages=_stage_latencies([report for _, _, report in succeeded]),
             cache=CacheStats(
                 hits=after.hits - before.hits,
                 misses=after.misses - before.misses,
@@ -345,4 +386,81 @@ class FleetManager:
             ),
             serial_ms=wall.serial_ms,
             makespan_ms=wall.makespan_ms,
+            failures=tuple(failures),
+            retries=total_retries,
         )
+
+    def _boot_waves(
+        self,
+        cfg: VmConfig,
+        seeds_used: list[int],
+        retries: int,
+        telemetry: Telemetry,
+    ) -> tuple[list[BootReport | None], list[BootFailure], int]:
+        """Boot every index, containing failures and retrying in waves.
+
+        Wave 0 submits every boot; each later wave resubmits the indices
+        that failed, with fresh seeds drawn in sorted-index order from a
+        dedicated retry stream.  Outcomes are collected per future (never
+        ``pool.map``), so one raising boot cannot abort the others, and
+        all retry decisions happen between waves on the caller's thread —
+        results are a pure function of (cfg, seeds, retry stream).
+        """
+        count = len(seeds_used)
+        # the retry stream is independent of the launch stream (so a
+        # no-failure launch consumes exactly the pre-containment draws)
+        # and keyed on a stable digest of the initial seeds — never on
+        # hash(), whose string randomization varies per process
+        digest = hashlib.sha256(
+            ("retry:" + ",".join(str(s) for s in seeds_used)).encode()
+        ).digest()
+        retry_rng = random.Random(int.from_bytes(digest[:8], "big"))
+        reports: list[BootReport | None] = [None] * count
+        last_failure: dict[int, BootFailure] = {}
+        pending = [(index, replace(cfg, seed=seed)) for index, seed in enumerate(seeds_used)]
+        total_retries = 0
+        for attempt in range(retries + 1):
+            if not pending:
+                break
+            wave_failures: dict[int, BootFailure] = {}
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                futures = [
+                    (
+                        index,
+                        boot_cfg,
+                        pool.submit(
+                            self.vmm.boot,
+                            boot_cfg,
+                            boot_index=index,
+                            attempt=attempt,
+                        ),
+                    )
+                    for index, boot_cfg in pending
+                ]
+                for index, boot_cfg, future in futures:
+                    try:
+                        reports[index] = future.result()
+                    except Exception as exc:  # contained, never fatal
+                        wave_failures[index] = BootFailure.from_exception(
+                            exc,
+                            boot_id=boot_identity(
+                                cfg.kernel.name, boot_cfg.seed
+                            ),
+                            attempt=attempt,
+                            index=index,
+                            seed=boot_cfg.seed,
+                        )
+            pending = []
+            for index in sorted(wave_failures):
+                last_failure[index] = wave_failures[index]
+                if attempt < retries:
+                    fresh_seed = retry_rng.getrandbits(64)
+                    seeds_used[index] = fresh_seed
+                    pending.append((index, replace(cfg, seed=fresh_seed)))
+                    total_retries += 1
+                    telemetry.registry.counter(
+                        "repro_fleet_retries_total",
+                        help="Fleet boot retry attempts",
+                    ).inc()
+        failures = [last_failure[index] for index in sorted(last_failure) if reports[index] is None]
+        return reports, failures, total_retries

@@ -29,8 +29,10 @@ import random
 import zlib
 from dataclasses import dataclass, replace
 
+from typing import TYPE_CHECKING
+
 from repro.core.inmonitor import RandomizeMode
-from repro.errors import MonitorError
+from repro.errors import BootFailure, InjectedFault, MonitorError, failure_kind
 from repro.host.entropy import HostEntropyPool
 from repro.host.storage import HostStorage
 from repro.monitor.artifact_cache import BootArtifactCache
@@ -43,6 +45,9 @@ from repro.simtime.costs import CostModel, JitterModel
 from repro.telemetry import NS_PER_MS, Telemetry, get_telemetry
 from repro.telemetry.profiler import CostProfiler
 from repro.vm.portio import PortIoBus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
 
 
 def boot_identity(kernel_name: str, seed: int) -> str:
@@ -94,11 +99,13 @@ class Firecracker:
         artifact_cache: BootArtifactCache | None = None,
         telemetry: Telemetry | None = None,
         profiler: "CostProfiler | None" = None,
+        fault_plan: "FaultPlan | None" = None,
     ) -> None:
         self.storage = storage
         self.costs = costs if costs is not None else CostModel()
         self.telemetry = telemetry
         self.profiler = profiler
+        self.fault_plan = fault_plan
         if entropy is None:
             registry = telemetry.registry if telemetry is not None else None
             entropy = HostEntropyPool(registry=registry)
@@ -152,16 +159,25 @@ class Firecracker:
                 seed_class=cfg.seed_class,
             )
 
-    def boot(self, cfg: VmConfig) -> BootReport:
-        """Run one boot start-to-init; raises on any contract violation."""
-        report, _vm = self.boot_vm(cfg)
+    def boot(
+        self, cfg: VmConfig, *, boot_index: int = 0, attempt: int = 0
+    ) -> BootReport:
+        """Run one boot start-to-init; raises on any contract violation.
+
+        ``boot_index``/``attempt`` identify the boot to an installed
+        fault plan (fleet index targeting, retry redraws); both default
+        to 0 for standalone boots.
+        """
+        report, _vm = self.boot_vm(cfg, boot_index=boot_index, attempt=attempt)
         return report
 
     def build_pipeline(self, cfg: VmConfig) -> BootPipeline:
         """The stage composition this monitor uses for ``cfg``."""
         return build_boot_pipeline(cfg, direct_only=self.profile.direct_only)
 
-    def boot_vm(self, cfg: VmConfig) -> tuple[BootReport, "MicroVm"]:
+    def boot_vm(
+        self, cfg: VmConfig, *, boot_index: int = 0, attempt: int = 0
+    ) -> tuple[BootReport, "MicroVm"]:
         """Like :meth:`boot`, but also returns a live guest handle."""
         cfg.validate()
         self.register_kernel(cfg)
@@ -192,8 +208,25 @@ class Firecracker:
             telemetry=telemetry,
             boot_id=boot_identity(cfg.kernel.name, seed),
             profiler=self.profiler,
+            fault_plan=self.fault_plan,
+            boot_index=boot_index,
+            attempt=attempt,
         )
-        self.build_pipeline(cfg).run(ctx)
+        try:
+            self.build_pipeline(cfg).run(ctx)
+        except Exception as exc:
+            self._count_failure(telemetry, exc)
+            if isinstance(exc, InjectedFault):
+                raise BootFailure(
+                    str(exc),
+                    boot_id=ctx.boot_id,
+                    stage=exc.boot_stage,
+                    kind=exc.fault_kind,
+                    attempt=attempt,
+                    index=boot_index,
+                    seed=seed,
+                ) from exc
+            raise
 
         telemetry.registry.counter(
             "repro_monitor_boots_total",
@@ -239,6 +272,20 @@ class Firecracker:
         return report, vm
 
     # -- per-boot plumbing -----------------------------------------------------
+
+    @staticmethod
+    def _count_failure(telemetry: Telemetry, exc: Exception) -> None:
+        """One ``repro_boot_failures_total{stage,kind}`` tick per abort.
+
+        Reads the attribution the pipeline stamped onto the exception;
+        organic failures classify by type, injected faults by their kind.
+        """
+        telemetry.registry.counter(
+            "repro_boot_failures_total",
+            help="Boots aborted by a stage failure",
+            stage=getattr(exc, "boot_stage", None) or "unknown",
+            kind=failure_kind(exc),
+        ).inc()
 
     def _boot_costs(self, cfg, seed) -> CostModel:
         """A per-boot :class:`CostModel` with its own seeded jitter stream.

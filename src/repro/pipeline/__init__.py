@@ -9,6 +9,7 @@ restore boot through pipelines built here.
 """
 
 from repro.pipeline.pipeline import (
+    PIPELINE_FLAVORS,
     BootPipeline,
     build_boot_pipeline,
     build_restore_pipeline,
@@ -26,6 +27,7 @@ from repro.pipeline.stage import (
 __all__ = [
     "BootPipeline",
     "BootStage",
+    "PIPELINE_FLAVORS",
     "PRINCIPAL_GUEST",
     "PRINCIPAL_KERNEL",
     "PRINCIPAL_MONITOR",

@@ -74,11 +74,17 @@ class BootPipeline:
         profiler = ctx.profiler
         for stage in self.stages:
             start_ns = ctx.clock.now_ns
-            if profiler is not None:
-                with profiler.stage_frame(stage.name, stage.principal):
+            try:
+                if ctx.fault_plan is not None:
+                    ctx.fault_plan.inject(stage, ctx)
+                if profiler is not None:
+                    with profiler.stage_frame(stage.name, stage.principal):
+                        result = stage.run(ctx)
+                else:
                     result = stage.run(ctx)
-            else:
-                result = stage.run(ctx)
+            except Exception as exc:
+                self._attribute_failure(exc, stage, ctx)
+                raise
             span = StageSpan(
                 name=result.stage,
                 category=result.category,
@@ -93,8 +99,61 @@ class BootPipeline:
                 ctx.telemetry.stage_span(ctx.boot_id, span)
             ctx.results.append(result)
 
+    @staticmethod
+    def _attribute_failure(
+        exc: Exception, stage: BootStage, ctx: StageContext
+    ) -> None:
+        """Stamp failure attribution without changing the exception type.
+
+        Existing callers keep catching the original typed error; the
+        containment layer reads ``boot_stage``/``boot_id`` off it.  The
+        profiler gains a zero-ns ``aborted.<stage>`` frame so an aborted
+        boot is visible in folded stacks while the exact-attribution
+        invariant (attributed ns == clock ns) is preserved.
+        """
+        if getattr(exc, "boot_stage", None) is None:
+            try:
+                exc.boot_stage = stage.name
+                exc.boot_id = ctx.boot_id
+            except AttributeError:  # pragma: no cover - slotted exception
+                pass
+        profiler = ctx.profiler
+        if profiler is not None:
+            with profiler.stage_frame(stage.name, stage.principal):
+                profiler.record_cost(f"aborted.{stage.name}", 0.0)
+                profiler.commit(0, stage.name)
+
     def stage_names(self) -> list[str]:
         return [stage.name for stage in self.stages]
+
+
+#: stage names per boot flavor, statically derived from the stage classes
+#: (the ``repro faults`` listing of valid injection points)
+PIPELINE_FLAVORS: dict[str, tuple[str, ...]] = {
+    "direct": (
+        MonitorStartupStage.name,
+        KernelImageReadStage.name,
+        ArtifactCacheStage.name,
+        RandomizeLoadStage.name,
+        BootParamsStage.name,
+        PageTableStage.name,
+        GuestEntryStage.name,
+        GuestBootStage.name,
+    ),
+    "bzimage": (
+        MonitorStartupStage.name,
+        BzImageReadStage.name,
+        LoaderBringUpStage.name,
+        LoaderDecompressStage.name,
+        LoaderRandomizeStage.name,
+        LoaderJumpStage.name,
+        BootParamsStage.name,
+        PageTableStage.name,
+        GuestEntryStage.name,
+        GuestBootStage.name,
+    ),
+    "restore": (SnapshotRestoreStage.name, RebaseStage.name),
+}
 
 
 def _shared_tail() -> list[BootStage]:

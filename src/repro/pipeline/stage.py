@@ -32,6 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from repro.core.prepared import PreparedImage
     from repro.elf.reader import ElfImage
     from repro.elf.relocs import RelocationTable
+    from repro.faults.plan import FaultPlan
     from repro.host.entropy import HostEntropyPool
     from repro.host.storage import HostStorage
     from repro.kernel.verify import VerificationReport
@@ -136,6 +137,12 @@ class StageContext:
     #: cost-attribution profiler; the pipeline brackets the run (and each
     #: stage) in its context frames so every charge lands attributed
     profiler: "CostProfiler | None" = None
+    #: fault injection: the seeded plan probed at every stage boundary
+    #: (None = no injection points, zero overhead), plus the fleet index
+    #: and retry attempt the plan keys its deterministic decisions on
+    fault_plan: "FaultPlan | None" = None
+    boot_index: int = 0
+    attempt: int = 0
 
     # -- populated by stages ---------------------------------------------------
     memory: "GuestMemory | None" = None

@@ -17,7 +17,7 @@ from dataclasses import replace
 from repro.bootstrap.loader import BootstrapLoader
 from repro.core.context import RandoContext
 from repro.core.inmonitor import InMonitorRandomizer, RandomizeMode
-from repro.core.prepared import image_digest, prepare_image
+from repro.core.prepared import prepare_image
 from repro.core.rerandomize import Rerandomizer
 from repro.elf.notes import find_pvh_entry, parse_notes
 from repro.errors import MonitorError
@@ -140,18 +140,14 @@ class ArtifactCacheStage(Stage):
         self.inner = inner if inner is not None else PrepareImageStage()
 
     def run(self, ctx: StageContext) -> StageResult:
-        from repro.monitor.artifact_cache import CacheKey, policy_fingerprint
+        from repro.monitor.artifact_cache import cache_key_for
 
         cache = ctx.artifact_cache
         if cache is None:
             return self.inner.run(ctx)
         cfg = ctx.cfg
-        digest = image_digest(cfg.kernel.elf.data)
-        key = CacheKey(
-            image_digest=digest,
-            policy=f"{cfg.randomize}:{policy_fingerprint(cfg.policy)}",
-            seed_class=cfg.seed_class,
-        )
+        key = cache_key_for(cfg)
+        digest = key.image_digest
         prepared = cache.lookup(key)
         if prepared is not None:
             ctx.prepared = prepared

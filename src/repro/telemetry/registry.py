@@ -199,9 +199,17 @@ class Histogram:
         return out
 
     def percentile(self, q: float) -> float:
-        """Nearest-rank percentile over the reservoir, in raw units."""
+        """Nearest-rank percentile over the reservoir, in raw units.
+
+        A never-observed histogram reports 0.0 — the exporter snapshots
+        every registered histogram, and "no observations yet" is ordinary
+        there, unlike the undefined-empty-sample case in
+        :func:`repro.telemetry.stats.percentile`.
+        """
         with self._lock:
             samples = list(self._reservoir)
+        if not samples:
+            return 0.0
         return percentile(samples, q)
 
     @property

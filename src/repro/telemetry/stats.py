@@ -16,33 +16,51 @@ from typing import Sequence
 
 
 def percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile (the paper's p50/p99 convention)."""
+    """Nearest-rank percentile (the paper's p50/p99 convention).
+
+    An empty sample has no percentiles: returning 0.0 here used to make
+    missing data indistinguishable from an infinitely fast stage, which a
+    regression gate happily accepts — so empty input is now an explicit
+    error and callers that can legitimately see empty samples must guard.
+    """
     if not 0 < q <= 100:
         raise ValueError(f"percentile must be in (0, 100], got {q}")
     ordered = sorted(values)
     if not ordered:
-        return 0.0
+        raise ValueError("percentile of an empty sample is undefined")
     rank = max(1, math.ceil(q / 100.0 * len(ordered)))
     return ordered[rank - 1]
 
 
 @dataclass(frozen=True)
 class StageLatency:
-    """Latency distribution of one boot stage across the fleet (ms)."""
+    """Latency distribution of one boot stage across the fleet (ms).
+
+    ``n`` is the sample count the summary was computed from; it is never
+    0 — :func:`latency_summary` refuses empty input rather than emit a
+    plausible-looking all-zero row.
+    """
 
     stage: str
     p50_ms: float
     p99_ms: float
     mean_ms: float
     max_ms: float
+    n: int = 0
 
 
 def latency_summary(stage: str, samples: Sequence[float]) -> StageLatency:
     """Summarize one stage's per-boot samples into a :class:`StageLatency`."""
+    if not samples:
+        raise ValueError(
+            f"stage {stage!r} has no samples; refusing to fabricate an "
+            "all-zero latency summary"
+        )
     return StageLatency(
         stage=stage,
         p50_ms=percentile(samples, 50),
         p99_ms=percentile(samples, 99),
-        mean_ms=sum(samples) / len(samples) if samples else 0.0,
-        max_ms=max(samples) if samples else 0.0,
+        mean_ms=sum(samples) / len(samples),
+        max_ms=max(samples),
+        n=len(samples),
     )

@@ -268,7 +268,20 @@ def test_percentile_nearest_rank():
     assert percentile(values, 99) == 99
     assert percentile(values, 100) == 100
     assert percentile([7.0], 99) == 7.0
-    assert percentile([], 50) == 0.0
+
+
+def test_percentile_rejects_empty_sample():
+    # an empty sample used to alias to 0.0, indistinguishable from an
+    # infinitely fast stage; it is an explicit error now
+    with pytest.raises(ValueError, match="empty"):
+        percentile([], 50)
+
+
+def test_latency_summary_rejects_empty_sample():
+    from repro.telemetry.stats import latency_summary
+
+    with pytest.raises(ValueError, match="no samples"):
+        latency_summary("parse", [])
 
 
 def test_percentile_rejects_bad_q():
@@ -299,3 +312,128 @@ def test_report_json_carries_workers_and_hit_rate(tiny_fgkaslr):
     assert set(workers) == {0, 1}
     for boot, parsed in zip(report.boots, data["boots"]):
         assert parsed["worker"] == boot.worker
+
+
+# -- failure containment -------------------------------------------------------
+
+
+def _faulty_manager(kernel, spec: str, workers: int = 4) -> FleetManager:
+    from repro.faults import FaultPlan
+
+    vmm = Firecracker(
+        HostStorage(), CostModel(scale=1), fault_plan=FaultPlan.parse([spec])
+    )
+    return FleetManager(vmm, workers=workers)
+
+
+def test_fleet_contains_one_fatal_fault(tiny_fgkaslr):
+    """N boots, one pinned fatal fault, no retry: N-1 survivors + 1 failure."""
+    manager = _faulty_manager(
+        tiny_fgkaslr, "stage=linux_boot,kind=stage-timeout,boot=2"
+    )
+    report = manager.launch(_cfg(tiny_fgkaslr), 8, fleet_seed=7, retries=0)
+    assert len(report.boots) == 7
+    assert [b.index for b in report.boots] == [0, 1, 3, 4, 5, 6, 7]
+    assert len(report.failures) == 1
+    failure = report.failures[0]
+    assert failure.index == 2
+    assert failure.stage == "linux_boot"
+    assert failure.kind == "stage-timeout"
+    assert failure.attempt == 0
+    assert report.retries == 0
+    # the invariant: every index is accounted for exactly once
+    assert len(report.boots) + len(report.failures) == report.n_vms
+
+
+def test_fleet_failure_sets_deterministic(tiny_fgkaslr):
+    """Same fleet_seed + plan => byte-identical to_json failure sets."""
+    import json
+
+    spec = "stage=linux_boot,kind=reloc-fail,rate=0.4,seed=9"
+    a = _faulty_manager(tiny_fgkaslr, spec).launch(
+        _cfg(tiny_fgkaslr), 10, fleet_seed=3, retries=0
+    )
+    b = _faulty_manager(tiny_fgkaslr, spec).launch(
+        _cfg(tiny_fgkaslr), 10, fleet_seed=3, retries=0
+    )
+    assert a.failures  # the rate actually fired
+    assert json.dumps(a.to_json(), sort_keys=True) == json.dumps(
+        b.to_json(), sort_keys=True
+    )
+    # worker count changes wall-clock scheduling, never fault decisions
+    serial = _faulty_manager(tiny_fgkaslr, spec, workers=1).launch(
+        _cfg(tiny_fgkaslr), 10, fleet_seed=3, retries=0
+    )
+    assert [f.to_json() for f in serial.failures] == [
+        f.to_json() for f in a.failures
+    ]
+
+
+def test_fleet_retry_redraws_seed_and_recovers(tiny_fgkaslr):
+    """A rate fault keyed on boot_id clears on retry: fresh seed, new draw."""
+    spec = "stage=linux_boot,kind=entropy-exhausted,rate=0.4,seed=9"
+    no_retry = _faulty_manager(tiny_fgkaslr, spec).launch(
+        _cfg(tiny_fgkaslr), 10, fleet_seed=3, retries=0
+    )
+    assert no_retry.failures
+    retried = _faulty_manager(tiny_fgkaslr, spec).launch(
+        _cfg(tiny_fgkaslr), 10, fleet_seed=3, retries=3
+    )
+    # retries were spent, and at least the first-wave failures recovered
+    assert retried.retries >= len(no_retry.failures)
+    assert len(retried.boots) > len(no_retry.boots)
+    assert len(retried.boots) + len(retried.failures) == retried.n_vms
+    # recovered boots carry their redrawn seed, distinct from the original
+    original = {b.index: b.seed for b in no_retry.boots}
+    for boot in retried.boots:
+        if boot.index not in original:
+            continue
+        assert boot.seed == original[boot.index]
+
+
+def test_fleet_inert_plan_output_identical_to_no_plan(tiny_fgkaslr):
+    """rate=0 plan installed => byte-identical report to a plain launch."""
+    import json
+
+    plain = _manager(tiny_fgkaslr, workers=4).launch(
+        _cfg(tiny_fgkaslr), 6, fleet_seed=11
+    )
+    inert = _faulty_manager(
+        tiny_fgkaslr, "stage=linux_boot,kind=stage-timeout,rate=0.0"
+    ).launch(_cfg(tiny_fgkaslr), 6, fleet_seed=11)
+    assert json.dumps(plain.to_json(), sort_keys=True) == json.dumps(
+        inert.to_json(), sort_keys=True
+    )
+    assert "failures" not in plain.to_json()
+    assert "retries" not in plain.to_json()
+
+
+def test_fleet_rejects_negative_retries(tiny_fgkaslr):
+    manager = _manager(tiny_fgkaslr, workers=2)
+    with pytest.raises(MonitorError, match="retry"):
+        manager.launch(_cfg(tiny_fgkaslr), 2, retries=-1)
+
+
+def test_cache_gauge_tracks_occupancy_under_concurrency(tiny_kaslr, tiny_fgkaslr):
+    """The occupancy gauge is published under the cache lock: it must equal
+    stats().entries after any storm of concurrent inserts and drops."""
+    from repro.monitor.artifact_cache import cache_key_for
+    from repro.telemetry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    cache = BootArtifactCache(max_entries=4, registry=registry)
+    cfgs = [
+        VmConfig(kernel=k, randomize=m)
+        for k in (tiny_kaslr, tiny_fgkaslr)
+        for m in (RandomizeMode.KASLR, RandomizeMode.FGKASLR)
+    ]
+
+    def churn(cfg):
+        for _ in range(25):
+            cache.get_or_parse(cfg.kernel.elf, cfg.randomize, cfg.policy)
+            cache.drop(cache_key_for(cfg))
+
+    with ThreadPoolExecutor(max_workers=8) as executor:
+        list(executor.map(churn, cfgs * 2))
+    gauge = registry.gauge("repro_cache_entries", help="")
+    assert gauge.value == cache.stats().entries

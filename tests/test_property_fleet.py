@@ -105,3 +105,39 @@ def test_wall_clock_more_workers_never_hurt(durations):
             wall.admit(duration)
         spans.append(wall.makespan_ns)
     assert all(a >= b for a, b in zip(spans, spans[1:]))
+
+
+# 4. injected faults never poison the shared artifact cache: whatever
+# entries survive a faulty fleet are byte-identical to a cold parse.
+
+
+@SETTINGS
+@given(
+    rate=st.floats(min_value=0.2, max_value=0.9),
+    spec_seed=st.integers(min_value=0, max_value=2**16),
+    workers=st.integers(min_value=1, max_value=8),
+)
+def test_faulty_fleet_never_poisons_cache(tiny_fgkaslr, rate, spec_seed, workers):
+    from repro.core.prepared import image_digest
+    from repro.faults import FaultPlan
+    from repro.monitor.artifact_cache import cache_key_for
+
+    plan = FaultPlan.parse(
+        [f"stage=prepare_image,kind=corrupt-elf,rate={rate},seed={spec_seed}"]
+    )
+    vmm = Firecracker(HostStorage(), CostModel(scale=1), fault_plan=plan)
+    manager = FleetManager(vmm, workers=workers)
+    cfg = VmConfig(kernel=tiny_fgkaslr, randomize=RandomizeMode.FGKASLR)
+    report = manager.launch(cfg, 6, fleet_seed=13, retries=1, warm=False)
+    assert len(report.boots) + len(report.failures) == 6
+    # a failed parse must never have been inserted: any surviving entry
+    # fingerprints identically to a cold parse of the pristine image
+    cache = vmm.artifact_cache
+    cached = cache.lookup(cache_key_for(cfg))
+    if cached is not None:
+        cold = prepare_image(
+            tiny_fgkaslr.elf,
+            RandomizeMode.FGKASLR,
+            digest=image_digest(tiny_fgkaslr.elf.data),
+        )
+        assert cached.fingerprint() == cold.fingerprint()
