@@ -2,8 +2,8 @@
 
 PYTHON ?= python3
 
-.PHONY: install test metrics-smoke faults-smoke bench bench-paper bench-gate \
-	bench-clean fleet-bench examples clean
+.PHONY: install test metrics-smoke faults-smoke serve-smoke bench \
+	bench-paper bench-gate bench-clean fleet-bench examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -20,6 +20,11 @@ metrics-smoke:
 # byte-identical determinism, zero-overhead-when-disabled
 faults-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.tools.faults_smoke
+
+# serve control plane through the CLI: request conservation, byte-identical
+# reruns, arrival-mix volume parity, warm-vs-cold p99, fault degradation
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.tools.serve_smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

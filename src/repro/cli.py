@@ -4,6 +4,7 @@ Subcommands::
 
     python -m repro boot    --kernel aws --mode fgkaslr [--format bzimage ...]
     python -m repro fleet   --kernel aws --count 64 --workers 8   # Section 6
+    python -m repro serve   --arrivals poisson --rate 40 --json   # SLO report
     python -m repro metrics --kernel aws --vms 4                  # Prometheus
 
 ``boot`` and ``fleet`` accept ``--json`` (machine-readable report) and
@@ -427,6 +428,130 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Play open-loop traffic against warm pools; print the SLO report."""
+    from repro.serve import (
+        ArrivalSpec,
+        AutoscalePolicy,
+        SampledBackend,
+        ServeConfig,
+        ServeEngine,
+        SloReport,
+        StrategySlo,
+    )
+    from repro.workloads import FUNCTIONS, InstanceStrategy, ServerlessPlatform
+
+    strategies = (
+        list(InstanceStrategy)
+        if args.strategy == "all"
+        else [InstanceStrategy(args.strategy)]
+    )
+    rates = args.rate or [40.0]
+    if args.function not in FUNCTIONS:
+        print(
+            f"unknown function {args.function!r}; "
+            f"known: {', '.join(sorted(FUNCTIONS))}",
+            file=sys.stderr,
+        )
+        return 2
+    spec = FUNCTIONS[args.function]
+    mode = RandomizeMode(args.mode)
+    policy = AutoscalePolicy(
+        min_ready=args.pool_min,
+        max_ready=args.pool_max,
+        scale_up_depth=args.scale_up_depth,
+        idle_ns=int(round(args.idle_ms * 1e6)),
+    )
+    config = ServeConfig(
+        policy=policy,
+        provisioners=args.provisioners,
+        queue_cap=args.queue_cap,
+        deadline_ns=int(round(args.deadline_ms * 1e6)),
+    )
+    telemetry = Telemetry()
+    rows = []
+    for strategy in strategies:
+        # a fresh monitor per strategy: independent cost-jitter streams,
+        # so strategies stay comparable and byte-stable in any order
+        vmm = _make_vmm(args, telemetry=telemetry)
+        kernel = get_kernel(args.kernel, _MODE_VARIANT[mode], scale=args.scale)
+        platform = ServerlessPlatform(
+            vmm,
+            lambda seed, k=kernel, m=mode: VmConfig(
+                kernel=k, randomize=m, seed=seed
+            ),
+            strategy=strategy,
+        )
+        backend = SampledBackend.from_platform(
+            platform, spec, n_samples=args.samples, seed=args.seed
+        )
+        for rate in rates:
+            engine = ServeEngine(
+                backend,
+                config,
+                telemetry=telemetry,
+                labels={"strategy": strategy.value, "mix": args.arrivals},
+            )
+            result = engine.run(
+                ArrivalSpec(
+                    rate_per_s=rate,
+                    duration_s=args.duration,
+                    mix=args.arrivals,
+                    seed=args.seed,
+                )
+            )
+            rows.append(
+                StrategySlo.from_result(
+                    result,
+                    strategy=strategy.value,
+                    mix=args.arrivals,
+                    rate_per_s=rate,
+                    duration_s=args.duration,
+                )
+            )
+    report = SloReport(
+        seed=args.seed,
+        function=args.function,
+        mix=args.arrivals,
+        duration_s=args.duration,
+        pool_min=args.pool_min,
+        pool_max=args.pool_max,
+        provisioners=args.provisioners,
+        queue_cap=args.queue_cap,
+        deadline_ms=args.deadline_ms,
+        samples_per_strategy=args.samples,
+        rows=tuple(rows),
+    )
+    if args.json:
+        sys.stdout.write(report.to_json())
+        _emit_telemetry(args, telemetry)
+        return 0
+    print(
+        render_table(
+            ["strategy", "rate/s", "served", "failed", "cold%",
+             "p50 ms", "p99 ms", "peak q", "busy"],
+            [
+                [
+                    r.strategy,
+                    f"{r.rate_per_s:g}",
+                    r.served,
+                    r.rejected + r.deadline_missed,
+                    f"{r.cold_frac * 100:.1f}",
+                    f"{r.p50_ms:.3f}",
+                    f"{r.p99_ms:.3f}",
+                    r.max_queue_depth,
+                    f"{r.provisioner_busy:.2f}",
+                ]
+                for r in report.rows
+            ],
+            title=f"{args.function} under {args.arrivals} arrivals "
+            f"({args.duration:g}s, pool {args.pool_min}..{args.pool_max})",
+        )
+    )
+    _emit_telemetry(args, telemetry)
+    return 0
+
+
 def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--metrics", action="store_true",
                         help="print Prometheus metrics text after the report")
@@ -614,6 +739,52 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("id", choices=["e1", "e2", "e3", "e4", "e5"])
     experiment.add_argument("--boots", type=int, default=20)
     experiment.set_defaults(func=_cmd_experiment)
+
+    serve = sub.add_parser(
+        "serve", parents=[common],
+        help="serverless control plane: open-loop traffic against warm "
+             "pools; prints the SLO report",
+    )
+    serve.add_argument("--kernel", choices=sorted(PRESETS), default="aws")
+    serve.add_argument("--mode", choices=[m.value for m in RandomizeMode],
+                       default="kaslr")
+    serve.add_argument("--function", default="api-echo",
+                       help="workload function (see repro.workloads.FUNCTIONS)")
+    serve.add_argument("--arrivals",
+                       choices=["poisson", "bursty", "diurnal"],
+                       default="poisson", help="open-loop traffic shape")
+    serve.add_argument("--rate", type=float, action="append", metavar="PER_S",
+                       help="offered load in requests/s (repeatable; "
+                            "default 40)")
+    serve.add_argument("--duration", type=float, default=10.0,
+                       help="simulated seconds of traffic (default 10)")
+    serve.add_argument("--strategy",
+                       choices=["cold-boot", "restore", "restore-rebase",
+                                "all"],
+                       default="all", help="instance production strategy")
+    serve.add_argument("--seed", type=int, default=1,
+                       help="seed for traffic and production sampling")
+    serve.add_argument("--samples", type=int, default=8,
+                       help="real productions measured per strategy")
+    serve.add_argument("--pool-min", type=int, default=2,
+                       help="warm-pool floor (prewarmed instances)")
+    serve.add_argument("--pool-max", type=int, default=16,
+                       help="warm-pool ceiling (autoscale cap)")
+    serve.add_argument("--scale-up-depth", type=int, default=2,
+                       help="queue depth that triggers scale-up")
+    serve.add_argument("--idle-ms", type=float, default=2000.0,
+                       help="idle time before scale-down to the floor")
+    serve.add_argument("--provisioners", type=int, default=4,
+                       help="parallel instance-production slots")
+    serve.add_argument("--queue-cap", type=int, default=64,
+                       help="admission queue bound (beyond it: rejected)")
+    serve.add_argument("--deadline-ms", type=float, default=30000.0,
+                       help="queued-request timeout")
+    serve.add_argument("--json", action="store_true",
+                       help="emit the SLO report as canonical JSON")
+    _add_fault_flags(serve)
+    _add_telemetry_flags(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     faults = sub.add_parser(
         "faults",

@@ -10,6 +10,7 @@ monitor constants, used for the Section 2.2 cross-check.
 from repro.monitor.artifact_cache import BootArtifactCache, CacheStats
 from repro.monitor.config import BootFormat, BootProtocol, VmConfig
 from repro.monitor.fleet import FleetBoot, FleetManager, FleetReport, StageLatency
+from repro.monitor.leases import InstanceLease, LeaseRegistry
 from repro.monitor.report import BootReport
 from repro.monitor.vm_handle import MicroVm
 from repro.monitor.vmm import Firecracker, MonitorProfile, Qemu
@@ -24,6 +25,8 @@ __all__ = [
     "FleetBoot",
     "FleetManager",
     "FleetReport",
+    "InstanceLease",
+    "LeaseRegistry",
     "MicroVm",
     "MonitorProfile",
     "Qemu",

@@ -1,0 +1,41 @@
+"""Serverless control plane over the simulated monitor.
+
+`repro serve` answers the question the paper's instantiation-rate
+numbers (Section 5.2/6) gesture at but never close: *what do boot,
+restore, and rebase-on-restore cost a tenant under live load?*  The
+subsystem plays seeded open-loop traffic (Poisson, bursty, diurnal)
+against warm pools of pre-provisioned microVM instances with
+queue-driven autoscaling, entirely on simulated time:
+
+* :mod:`repro.serve.arrivals` — the traffic shapes;
+* :mod:`repro.serve.backend` — a few real boot/restore pipeline runs,
+  sampled once and replayed cyclically;
+* :mod:`repro.serve.pool` — warm capacity with strict lease accounting;
+* :mod:`repro.serve.engine` — the deterministic discrete-event loop;
+* :mod:`repro.serve.report` — the JSON SLO report the bench gate tracks.
+"""
+
+from repro.serve.arrivals import ARRIVAL_MIXES, ArrivalSpec, generate_arrivals
+from repro.serve.backend import ProductionSample, SampledBackend
+from repro.serve.engine import EventKind, ServeConfig, ServeEngine, ServeResult
+from repro.serve.pool import AutoscalePolicy, PoolStats, WarmInstance, WarmPool
+from repro.serve.report import SCHEMA_VERSION, SloReport, StrategySlo
+
+__all__ = [
+    "ARRIVAL_MIXES",
+    "ArrivalSpec",
+    "AutoscalePolicy",
+    "EventKind",
+    "PoolStats",
+    "ProductionSample",
+    "SCHEMA_VERSION",
+    "SampledBackend",
+    "ServeConfig",
+    "ServeEngine",
+    "ServeResult",
+    "SloReport",
+    "StrategySlo",
+    "WarmInstance",
+    "WarmPool",
+    "generate_arrivals",
+]

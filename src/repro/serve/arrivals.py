@@ -1,0 +1,162 @@
+"""Open-loop arrival processes for the serve control plane.
+
+A serverless platform does not get to pick when requests show up — the
+traffic is *open loop*: arrivals keep coming whether or not the control
+plane has capacity, which is what makes cold-start tails and queueing
+visible at all (closed-loop drivers self-throttle and hide both).
+
+Three mixes share one seeded base process, so the mix knob changes the
+*shape* of the traffic without touching its volume:
+
+* ``poisson`` — homogeneous Poisson arrivals at the offered rate;
+* ``bursty``  — the same arrivals warped so ``burst_share`` of them land
+  inside ``burst_duty`` of each ``burst_period_s`` window (on/off
+  traffic: load spikes of ``share/duty`` times the offered rate);
+* ``diurnal`` — the same arrivals warped through a sinusoidal intensity
+  with one full "day" per run (peak = ``1 + amplitude`` times the mean).
+
+The warps are monotone bijections of ``[0, duration)`` onto itself, so
+for a fixed ``(seed, rate, duration)`` every mix produces *exactly the
+same number of events* and the same long-run offered rate — only the
+spacing differs.  The property tests pin all three guarantees:
+seed-determinism, empirical rate within tolerance, and count
+preservation across mixes.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, replace
+
+__all__ = ["ARRIVAL_MIXES", "ArrivalSpec", "generate_arrivals"]
+
+#: the traffic shapes ``repro serve --arrivals`` accepts
+ARRIVAL_MIXES: tuple[str, ...] = ("poisson", "bursty", "diurnal")
+
+NS_PER_S = 1_000_000_000
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """One traffic description: shape, volume, horizon, and seed."""
+
+    rate_per_s: float
+    duration_s: float
+    mix: str = "poisson"
+    seed: int = 0
+    #: bursty knobs: period of the on/off cycle, fraction of the period
+    #: that is "on", and fraction of arrivals squeezed into the on window
+    burst_period_s: float = 1.0
+    burst_duty: float = 0.2
+    burst_share: float = 0.8
+    #: diurnal knob: sinusoidal swing around the mean rate (0 <= A < 1)
+    diurnal_amplitude: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.mix not in ARRIVAL_MIXES:
+            raise ValueError(
+                f"unknown arrival mix {self.mix!r}; "
+                f"known: {', '.join(ARRIVAL_MIXES)}"
+            )
+        if self.rate_per_s <= 0:
+            raise ValueError(f"offered rate must be positive: {self.rate_per_s}")
+        if self.duration_s <= 0:
+            raise ValueError(f"duration must be positive: {self.duration_s}")
+        if self.burst_period_s <= 0:
+            raise ValueError(f"burst period must be positive: {self.burst_period_s}")
+        if not 0.0 < self.burst_duty < 1.0:
+            raise ValueError(f"burst duty must be in (0, 1): {self.burst_duty}")
+        if not 0.0 < self.burst_share < 1.0:
+            raise ValueError(f"burst share must be in (0, 1): {self.burst_share}")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError(
+                f"diurnal amplitude must be in [0, 1): {self.diurnal_amplitude}"
+            )
+
+    @property
+    def duration_ns(self) -> int:
+        return int(round(self.duration_s * NS_PER_S))
+
+    def with_mix(self, mix: str) -> "ArrivalSpec":
+        return replace(self, mix=mix)
+
+
+def _base_arrivals(spec: ArrivalSpec) -> list[float]:
+    """Homogeneous Poisson arrival instants (seconds) on [0, duration)."""
+    rng = random.Random(spec.seed)
+    out: list[float] = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(spec.rate_per_s)
+        if t >= spec.duration_s:
+            return out
+        out.append(t)
+
+
+def _warp_bursty(spec: ArrivalSpec, t: float) -> float:
+    """Piecewise-linear bijection squeezing traffic into on-windows.
+
+    Within each period ``P``: the first ``share`` of base time maps onto
+    the ``duty`` on-window, the rest onto the off-window.  Continuous,
+    monotone, and periodic, so ordering and count are preserved.
+    """
+    period = spec.burst_period_s
+    cycle, x = divmod(t, period)
+    split = spec.burst_share * period
+    on = spec.burst_duty * period
+    if x < split:
+        y = (x / split) * on
+    else:
+        y = on + ((x - split) / (period - split)) * (period - on)
+    return cycle * period + y
+
+
+def _warp_diurnal(spec: ArrivalSpec, t: float) -> float:
+    """Inverse-intensity warp for one sinusoidal day per run.
+
+    Target intensity ``lambda(u) = 1 + A*sin(2*pi*u/D)`` (mean 1 over the
+    day ``D = duration``), whose cumulative is
+    ``Lambda(u) = u + A*D/(2*pi) * (1 - cos(2*pi*u/D))`` with
+    ``Lambda(D) = D``.  Mapping a base instant ``t`` to
+    ``Lambda^{-1}(t)`` concentrates arrivals where intensity is high;
+    bisection keeps the inversion deterministic.
+    """
+    day = spec.duration_s
+    amp = spec.diurnal_amplitude
+    if amp == 0.0:
+        return t
+
+    def cumulative(u: float) -> float:
+        return u + amp * day / (2 * math.pi) * (
+            1.0 - math.cos(2 * math.pi * u / day)
+        )
+
+    lo, hi = 0.0, day
+    for _ in range(64):  # ~1e-19 relative error; plenty below ns
+        mid = (lo + hi) / 2
+        if cumulative(mid) < t:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2
+
+
+def generate_arrivals(spec: ArrivalSpec) -> tuple[int, ...]:
+    """The arrival instants (ns, sorted, in ``[0, duration)``) for a spec.
+
+    A pure function of the spec: same spec, same tuple — the golden and
+    property tests rely on it.  All mixes of a fixed (seed, rate,
+    duration) return the same number of instants.
+    """
+    base = _base_arrivals(spec)
+    if spec.mix == "bursty":
+        warped = [_warp_bursty(spec, t) for t in base]
+    elif spec.mix == "diurnal":
+        warped = [_warp_diurnal(spec, t) for t in base]
+    else:
+        warped = base
+    limit = spec.duration_ns - 1
+    return tuple(
+        sorted(min(limit, max(0, int(round(t * NS_PER_S)))) for t in warped)
+    )

@@ -1,0 +1,399 @@
+"""The serve control plane: a deterministic discrete-event simulation.
+
+One engine run plays an open-loop arrival stream against a warm pool on
+simulated time.  The pieces:
+
+* arrivals come from :mod:`repro.serve.arrivals` (seeded, open-loop);
+* instance production costs come from a
+  :class:`~repro.serve.backend.SampledBackend` (a few real pipeline runs
+  replayed cyclically, so a million invocations is integer arithmetic);
+* provisioning parallelism is modeled by
+  :class:`~repro.simtime.fleetclock.FleetWallClock` in open-loop mode
+  (``schedule_at``), so concurrent productions overlap like a real
+  provisioner fleet's would;
+* instance accounting is a :class:`~repro.serve.pool.WarmPool` over a
+  :class:`~repro.monitor.leases.LeaseRegistry`.
+
+Determinism: the event heap is keyed ``(time, kind, seq)``; ``kind``
+fixes the processing order of same-instant events (capacity lands
+before completions, completions before new arrivals, arrivals before
+deadlines, housekeeping last), ``seq`` breaks the remaining ties by
+insertion order.  No wall clock, no unseeded randomness — a config is a
+pure function to a result, which is what lets the golden test demand
+byte-identical reports.
+
+Termination is structural: arrivals are finite, every admitted request
+carries a deadline event, every started provision carries exactly one
+completion event, refills only chase a bounded target, and a circuit
+breaker stops provisioning after ``max_provision_failures`` consecutive
+dead productions — so the heap always drains, even against a backend
+whose every production fails.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import MonitorError
+from repro.serve.arrivals import ArrivalSpec, generate_arrivals
+from repro.serve.backend import ProductionSample, SampledBackend
+from repro.serve.pool import AutoscalePolicy, PoolStats, WarmInstance, WarmPool
+from repro.simtime.fleetclock import FleetWallClock
+from repro.telemetry import Telemetry
+
+__all__ = ["EventKind", "ServeConfig", "ServeEngine", "ServeResult"]
+
+
+class EventKind(enum.IntEnum):
+    """Processing order for events sharing a timestamp."""
+
+    READY = 0  # a provision completed (or failed) — capacity first
+    DONE = 1  # an invocation finished
+    ARRIVE = 2  # a request enters the system
+    DEADLINE = 3  # a queued request gives up
+    IDLE = 4  # scale-down watchdog
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything the engine needs besides traffic and a backend."""
+
+    policy: AutoscalePolicy = field(default_factory=AutoscalePolicy)
+    #: parallel provisioning slots (the monitor threads building instances)
+    provisioners: int = 4
+    #: admission queue bound; arrivals beyond it are rejected outright
+    queue_cap: int = 64
+    #: how long a queued request waits before failing
+    deadline_ns: int = 30_000_000_000
+    #: consecutive dead productions before the breaker stops provisioning
+    max_provision_failures: int = 32
+
+    def __post_init__(self) -> None:
+        if self.provisioners < 1:
+            raise ValueError(f"need >= 1 provisioner: {self.provisioners}")
+        if self.queue_cap < 1:
+            raise ValueError(f"queue_cap must be >= 1: {self.queue_cap}")
+        if self.deadline_ns <= 0:
+            raise ValueError(f"deadline must be positive: {self.deadline_ns}")
+        if self.max_provision_failures < 1:
+            raise ValueError(
+                f"breaker threshold must be >= 1: {self.max_provision_failures}"
+            )
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """One engine run, fully accounted.
+
+    ``check()`` asserts the conservation law the invariant tests lean
+    on: every arrival is served, rejected, or deadline-failed — no
+    request is silently dropped.
+    """
+
+    arrivals: int
+    served: int
+    rejected: int
+    deadline_missed: int
+    cold_starts: int
+    degraded_serves: int
+    latencies_ns: tuple[int, ...]
+    max_queue_depth: int
+    pool: PoolStats
+    provisioner_busy: float
+    breaker_tripped: bool
+    horizon_ns: int
+
+    @property
+    def failed(self) -> int:
+        return self.rejected + self.deadline_missed
+
+    @property
+    def cold_fraction(self) -> float:
+        return self.cold_starts / self.served if self.served else 0.0
+
+    def check(self) -> "ServeResult":
+        if self.served + self.failed != self.arrivals:
+            raise MonitorError(
+                f"request conservation violated: {self.served} served + "
+                f"{self.failed} failed != {self.arrivals} arrivals"
+            )
+        if len(self.latencies_ns) != self.served:
+            raise MonitorError(
+                f"{len(self.latencies_ns)} latencies for {self.served} serves"
+            )
+        return self
+
+
+class ServeEngine:
+    """Runs one (traffic, backend, config) triple to a drained result."""
+
+    def __init__(
+        self,
+        backend: SampledBackend,
+        config: ServeConfig,
+        telemetry: Telemetry | None = None,
+        labels: dict[str, str] | None = None,
+    ) -> None:
+        self.backend = backend
+        self.config = config
+        self.telemetry = telemetry
+        self.labels = dict(labels or {})
+
+    # -- internal helpers ------------------------------------------------------
+
+    def _push(self, when_ns: int, kind: EventKind, payload: int) -> None:
+        heapq.heappush(self._events, (when_ns, int(kind), self._seq, payload))
+        self._seq += 1
+
+    def _count(self, name: str, help_text: str, amount: int = 1, **extra: str) -> None:
+        if self.telemetry is None or amount == 0:
+            return
+        self.telemetry.registry.counter(
+            name, help=help_text, **self.labels, **extra
+        ).inc(amount)
+
+    def _provision(self, now_ns: int) -> None:
+        """Chase the target: start provisions until the deficit closes."""
+        if self._breaker_tripped:
+            return
+        pool = self._pool
+        while pool.deficit() > 0:
+            instance_id = pool.begin_provision()
+            sample = self.backend.sample(self._production_index)
+            self._production_index += 1
+            window = self._provisioners.schedule_at(now_ns, sample.startup_ns)
+            if sample.failed:
+                # the provisioner still burns the time before giving up
+                self._push(window.end_ns, EventKind.READY, -(instance_id + 1))
+            else:
+                self._pending[instance_id] = sample
+                self._push(window.end_ns, EventKind.READY, instance_id)
+
+    def _dispatch(self, now_ns: int) -> None:
+        """Marry queued requests to ready instances, FIFO on both sides."""
+        pool = self._pool
+        while self._queue:
+            req = self._queue[0]
+            if req in self._resolved:
+                self._queue.popleft()
+                continue
+            inst = pool.acquire(now_ns)
+            if inst is None:
+                return
+            self._queue.popleft()
+            self._resolved.add(req)
+            self._serving[inst.instance_id] = (req, inst)
+            sample = self._instance_sample[inst.instance_id]
+            done = now_ns + sample.invoke_ns
+            self._push(done, EventKind.DONE, inst.instance_id)
+            self._touch_idle(now_ns)
+            # consuming capacity may open a deficit immediately
+            self._provision(now_ns)
+
+    def _touch_idle(self, now_ns: int) -> None:
+        self._idle_at = now_ns + self.config.policy.idle_ns
+        if not self._idle_armed:
+            self._idle_armed = True
+            self._push(self._idle_at, EventKind.IDLE, 0)
+
+    # -- the run ---------------------------------------------------------------
+
+    def run(self, spec: ArrivalSpec) -> ServeResult:
+        arrivals = generate_arrivals(spec)
+        cfg = self.config
+        self._pool = WarmPool(policy=cfg.policy)
+        self._provisioners = FleetWallClock(cfg.provisioners)
+        self._events: list[tuple[int, int, int, int]] = []
+        self._seq = 0
+        self._queue: deque[int] = deque()
+        self._resolved: set[int] = set()
+        self._arrival_of: dict[int, int] = {}
+        self._serving: dict[int, tuple[int, WarmInstance]] = {}
+        self._pending: dict[int, ProductionSample] = {}
+        self._instance_sample: dict[int, ProductionSample] = {}
+        self._production_index = 0
+        self._consecutive_failures = 0
+        self._breaker_tripped = False
+        self._idle_at = 0
+        self._idle_armed = False
+
+        served = rejected = deadline_missed = 0
+        cold_starts = degraded_serves = 0
+        latencies: list[int] = []
+        max_queue_depth = 0
+        horizon_ns = spec.duration_ns
+
+        # Prewarm: the pool opens stocked to its floor.  Prewarmed
+        # instances are ready at t=0 — their production happened before
+        # the observation window, so they are never cold starts.
+        for _ in range(cfg.policy.min_ready):
+            if self._breaker_tripped:
+                break
+            instance_id = self._pool.begin_provision()
+            sample = self.backend.sample(self._production_index)
+            self._production_index += 1
+            if sample.failed:
+                self._pool.fail_provision()
+                self._consecutive_failures += 1
+                if self._consecutive_failures >= cfg.max_provision_failures:
+                    self._breaker_tripped = True
+            else:
+                self._consecutive_failures = 0
+                self._instance_sample[instance_id] = sample
+                self._pool.complete_provision(
+                    instance_id,
+                    ready_ns=0,
+                    startup_ns=sample.startup_ns,
+                    layout_offset=sample.layout_offset,
+                    degraded=sample.degraded,
+                )
+
+        for idx, when in enumerate(arrivals):
+            self._push(when, EventKind.ARRIVE, idx)
+
+        while self._events:
+            now_ns, kind, _seq, payload = heapq.heappop(self._events)
+            kind = EventKind(kind)
+
+            if kind is EventKind.ARRIVE:
+                if len(self._queue) >= cfg.queue_cap:
+                    rejected += 1
+                    self._resolved.add(payload)
+                    self._count(
+                        "repro_serve_failed_total",
+                        "Requests the control plane failed",
+                        reason="rejected",
+                    )
+                    continue
+                self._queue.append(payload)
+                self._arrival_of[payload] = now_ns
+                max_queue_depth = max(max_queue_depth, len(self._queue))
+                self._push(
+                    now_ns + cfg.deadline_ns, EventKind.DEADLINE, payload
+                )
+                self._pool.observe_queue(len(self._queue))
+                self._touch_idle(now_ns)
+                self._provision(now_ns)
+                self._dispatch(now_ns)
+
+            elif kind is EventKind.READY:
+                if payload < 0:  # a failed production completing
+                    self._pool.fail_provision()
+                    self._consecutive_failures += 1
+                    self._count(
+                        "repro_serve_provision_failures_total",
+                        "Productions that died (cold fallback included)",
+                    )
+                    if self._consecutive_failures >= cfg.max_provision_failures:
+                        self._breaker_tripped = True
+                    else:
+                        self._provision(now_ns)
+                    continue
+                self._consecutive_failures = 0
+                sample = self._pending.pop(payload)
+                self._instance_sample[payload] = sample
+                self._pool.complete_provision(
+                    payload,
+                    ready_ns=now_ns,
+                    startup_ns=sample.startup_ns,
+                    layout_offset=sample.layout_offset,
+                    degraded=sample.degraded,
+                )
+                self._dispatch(now_ns)
+
+            elif kind is EventKind.DONE:
+                req, inst = self._serving.pop(payload)
+                self._instance_sample.pop(payload, None)
+                self._pool.finish(inst)
+                arrival = self._arrival_of.pop(req)
+                latencies.append(now_ns - arrival)
+                served += 1
+                horizon_ns = max(horizon_ns, now_ns)
+                cold = inst.ready_ns > arrival
+                if cold:
+                    cold_starts += 1
+                if inst.degraded:
+                    degraded_serves += 1
+                self._count(
+                    "repro_serve_served_total",
+                    "Requests served to completion",
+                    cold=str(cold).lower(),
+                )
+                self._observe_latency(now_ns - arrival)
+                self._provision(now_ns)
+                self._dispatch(now_ns)
+
+            elif kind is EventKind.DEADLINE:
+                if payload in self._resolved:
+                    continue
+                self._resolved.add(payload)
+                # eager removal keeps the admission bound honest: a
+                # timed-out request must stop occupying a queue slot
+                self._queue.remove(payload)
+                self._arrival_of.pop(payload, None)
+                deadline_missed += 1
+                self._count(
+                    "repro_serve_failed_total",
+                    "Requests the control plane failed",
+                    reason="deadline",
+                )
+
+            elif kind is EventKind.IDLE:
+                if now_ns < self._idle_at:
+                    self._push(self._idle_at, EventKind.IDLE, 0)
+                    continue
+                self._idle_armed = False
+                if not self._queue:
+                    self._pool.scale_to_floor(now_ns)
+
+        self._pool.drain()
+        self._export_gauges(max_queue_depth)
+
+        return ServeResult(
+            arrivals=len(arrivals),
+            served=served,
+            rejected=rejected,
+            deadline_missed=deadline_missed,
+            cold_starts=cold_starts,
+            degraded_serves=degraded_serves,
+            latencies_ns=tuple(latencies),
+            max_queue_depth=max_queue_depth,
+            pool=self._pool.stats(),
+            provisioner_busy=self._provisioners.busy_fraction(horizon_ns),
+            breaker_tripped=self._breaker_tripped,
+            horizon_ns=horizon_ns,
+        ).check()
+
+    # -- telemetry -------------------------------------------------------------
+
+    def _observe_latency(self, latency_ns: int) -> None:
+        if self.telemetry is None:
+            return
+        self.telemetry.registry.histogram(
+            "repro_serve_latency_ns",
+            help="End-to-end request latency (arrival to completion)",
+            **self.labels,
+        ).observe(latency_ns)
+
+    def _export_gauges(self, max_queue_depth: int) -> None:
+        if self.telemetry is None:
+            return
+        registry = self.telemetry.registry
+        registry.gauge(
+            "repro_serve_peak_queue_depth",
+            help="High-water mark of the admission queue",
+            **self.labels,
+        ).set(max_queue_depth)
+        registry.gauge(
+            "repro_serve_peak_pool_ready",
+            help="High-water mark of warm instances ready to lease",
+            **self.labels,
+        ).set(self._pool.peak_ready)
+        registry.gauge(
+            "repro_serve_pool_target",
+            help="Autoscale target at end of run",
+            **self.labels,
+        ).set(self._pool.target)

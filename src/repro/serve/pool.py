@@ -1,0 +1,236 @@
+"""Warm pools with queue-driven autoscaling.
+
+A pool holds pre-provisioned microVM instances waiting to serve.  Because
+the platform is one-instance-per-invocation (the microVM isolation model),
+every served request *consumes* an instance, so the pool is a conveyor
+belt: provision -> ready -> lease -> retire, continuously refilled toward
+an autoscale target.
+
+The target moves in two directions:
+
+* **up** when the admission queue backs up (``queue_depth >=
+  scale_up_depth`` lifts the target toward ``min_ready + depth``, capped
+  at ``max_ready``);
+* **down** when the pool sits idle (``idle_ns`` with no lease lets the
+  engine retire ready instances above ``min_ready`` and drop the target
+  back to the floor).
+
+All accounting rides on :class:`~repro.monitor.leases.LeaseRegistry`, so
+double-leases, use-after-retire, and leaked instances are typed errors
+rather than silent statistics bugs.  The pool never talks to clocks or
+event loops — the engine owns time; the pool owns *counts* — which keeps
+its invariants (``ready + in_flight <= target <= max_ready``) directly
+checkable by the randomized invariant tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import MonitorError
+from repro.monitor.leases import LeaseRegistry
+
+__all__ = ["AutoscalePolicy", "PoolStats", "WarmInstance", "WarmPool"]
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """How a pool sizes itself against the admission queue."""
+
+    min_ready: int = 1
+    max_ready: int = 8
+    #: queue depth at which the pool starts scaling above ``min_ready``
+    scale_up_depth: int = 2
+    #: idle time (no lease) after which excess warm capacity is retired
+    idle_ns: int = 2_000_000_000
+
+    def __post_init__(self) -> None:
+        if self.min_ready < 0:
+            raise ValueError(f"min_ready must be >= 0: {self.min_ready}")
+        if self.max_ready < max(1, self.min_ready):
+            raise ValueError(
+                f"max_ready must be >= max(1, min_ready): "
+                f"{self.max_ready} < {self.min_ready}"
+            )
+        if self.scale_up_depth < 1:
+            raise ValueError(
+                f"scale_up_depth must be >= 1: {self.scale_up_depth}"
+            )
+        if self.idle_ns <= 0:
+            raise ValueError(f"idle_ns must be positive: {self.idle_ns}")
+
+    def desired(self, current_target: int, queue_depth: int) -> int:
+        """The target after observing ``queue_depth`` waiting requests."""
+        if queue_depth < self.scale_up_depth:
+            return current_target
+        return min(self.max_ready, max(current_target, self.min_ready + queue_depth))
+
+
+@dataclass(frozen=True)
+class WarmInstance:
+    """One provisioned instance sitting in (or leased out of) a pool."""
+
+    instance_id: int
+    #: simulated instant the instance became leasable
+    ready_ns: int
+    #: what its production cost (informational; charged to the provisioner)
+    startup_ns: int
+    #: layout offset of the live guest (diversity accounting)
+    layout_offset: int
+    #: warm production failed and fell back to a cold boot
+    degraded: bool = False
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """A pool's lifetime accounting, read after the run drains."""
+
+    provisioned: int
+    degraded: int
+    retired_idle: int
+    leases_granted: int
+    peak_ready: int
+    peak_target: int
+
+
+@dataclass
+class WarmPool:
+    """FIFO warm capacity with strict lease accounting."""
+
+    policy: AutoscalePolicy
+    registry: LeaseRegistry = field(default_factory=LeaseRegistry)
+    _ready: deque[WarmInstance] = field(default_factory=deque)
+    _in_flight: int = 0
+    _next_id: int = 0
+    target: int = 0
+    #: lifetime counters
+    provisioned: int = 0
+    degraded: int = 0
+    retired_idle: int = 0
+    peak_ready: int = 0
+    peak_target: int = 0
+
+    def __post_init__(self) -> None:
+        self.target = self.policy.min_ready
+        self.peak_target = self.target
+
+    # -- capacity queries ------------------------------------------------------
+
+    @property
+    def ready_count(self) -> int:
+        return len(self._ready)
+
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    def deficit(self) -> int:
+        """How many provisions are needed to reach the current target."""
+        return max(0, self.target - len(self._ready) - self._in_flight)
+
+    # -- autoscaling -----------------------------------------------------------
+
+    def observe_queue(self, depth: int) -> None:
+        """Scale the target up against the current admission-queue depth."""
+        self.target = self.policy.desired(self.target, depth)
+        self.peak_target = max(self.peak_target, self.target)
+
+    def scale_to_floor(self, now_ns: int) -> list[WarmInstance]:
+        """Idle scale-down: drop the target to ``min_ready`` and retire
+        the excess ready instances (newest first, LIFO — the oldest warm
+        capacity is the next to be leased and stays)."""
+        self.target = self.policy.min_ready
+        retired: list[WarmInstance] = []
+        while len(self._ready) > self.policy.min_ready:
+            inst = self._ready.pop()
+            self.registry.retire(inst.instance_id)
+            self.retired_idle += 1
+            retired.append(inst)
+        return retired
+
+    # -- provisioning ----------------------------------------------------------
+
+    def begin_provision(self) -> int:
+        """Reserve a provision slot; returns the instance id being built."""
+        if len(self._ready) + self._in_flight >= self.policy.max_ready:
+            raise MonitorError(
+                "pool over capacity: "
+                f"{len(self._ready)} ready + {self._in_flight} in flight "
+                f">= max_ready {self.policy.max_ready}"
+            )
+        self._in_flight += 1
+        instance_id = self._next_id
+        self._next_id += 1
+        return instance_id
+
+    def complete_provision(
+        self,
+        instance_id: int,
+        ready_ns: int,
+        startup_ns: int,
+        layout_offset: int,
+        degraded: bool = False,
+    ) -> WarmInstance:
+        """A provision finished; the instance becomes leasable."""
+        if self._in_flight < 1:
+            raise MonitorError("complete_provision without begin_provision")
+        self._in_flight -= 1
+        inst = WarmInstance(
+            instance_id=instance_id,
+            ready_ns=ready_ns,
+            startup_ns=startup_ns,
+            layout_offset=layout_offset,
+            degraded=degraded,
+        )
+        self.registry.register(instance_id)
+        self._ready.append(inst)
+        self.provisioned += 1
+        if degraded:
+            self.degraded += 1
+        self.peak_ready = max(self.peak_ready, len(self._ready))
+        return inst
+
+    def fail_provision(self) -> None:
+        """A provision died outright (cold fallback also failed)."""
+        if self._in_flight < 1:
+            raise MonitorError("fail_provision without begin_provision")
+        self._in_flight -= 1
+
+    # -- serving ---------------------------------------------------------------
+
+    def acquire(self, now_ns: int) -> WarmInstance | None:
+        """Lease the oldest ready instance, or ``None`` if the pool is dry."""
+        if not self._ready:
+            return None
+        inst = self._ready.popleft()
+        self.registry.lease(inst.instance_id, now_ns)
+        return inst
+
+    def finish(self, inst: WarmInstance) -> None:
+        """The invocation completed; the consumed instance is destroyed."""
+        self.registry.release(inst.instance_id)
+        self.registry.retire(inst.instance_id)
+
+    # -- audits ----------------------------------------------------------------
+
+    def drain(self) -> None:
+        """End of run: retire remaining warm capacity and audit the books."""
+        while self._ready:
+            inst = self._ready.pop()
+            self.registry.retire(inst.instance_id)
+        if self._in_flight:
+            raise MonitorError(
+                f"drain with {self._in_flight} provisions still in flight"
+            )
+        self.registry.audit_drained()
+
+    def stats(self) -> PoolStats:
+        return PoolStats(
+            provisioned=self.provisioned,
+            degraded=self.degraded,
+            retired_idle=self.retired_idle,
+            leases_granted=self.registry.leases_granted,
+            peak_ready=self.peak_ready,
+            peak_target=self.peak_target,
+        )

@@ -1,0 +1,140 @@
+"""SLO reports: what `repro serve` prints and the bench gate compares.
+
+A report is a pure rendering of :class:`~repro.serve.engine.ServeResult`
+objects — no recomputation, no clocks.  The JSON form is the contract:
+``schema_version`` names the shape, keys are emitted sorted, and floats
+are rounded to fixed precision, so a seeded jitter-free run serializes
+byte-identically across processes (the golden test) and the benchmark
+baselines can gate on individual fields.
+
+Latency is end-to-end (arrival to completion): queue wait, any cold
+production the request had to sit through, and the invocation on the
+instance's real randomized layout.  ``cold_frac`` is the fraction of
+*served* requests whose instance was not ready before they arrived —
+the serverless number the paper's instantiation-rate argument is
+ultimately about.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+from repro.serve.engine import ServeResult
+from repro.telemetry.stats import percentile
+
+__all__ = ["SCHEMA_VERSION", "SloReport", "StrategySlo"]
+
+SCHEMA_VERSION = 1
+
+_NS_PER_MS = 1e6
+
+
+def _ms(value_ns: float) -> float:
+    return round(value_ns / _NS_PER_MS, 4)
+
+
+@dataclass(frozen=True)
+class StrategySlo:
+    """One (strategy, mix, offered rate) cell of the report."""
+
+    strategy: str
+    mix: str
+    rate_per_s: float
+    duration_s: float
+    arrivals: int
+    served: int
+    rejected: int
+    deadline_missed: int
+    cold_starts: int
+    cold_frac: float
+    degraded_serves: int
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_ms: float
+    max_ms: float
+    max_queue_depth: int
+    peak_pool_ready: int
+    pool_provisioned: int
+    pool_retired_idle: int
+    provisioner_busy: float
+    breaker_tripped: bool
+
+    @classmethod
+    def from_result(
+        cls,
+        result: ServeResult,
+        *,
+        strategy: str,
+        mix: str,
+        rate_per_s: float,
+        duration_s: float,
+    ) -> "StrategySlo":
+        lat = result.latencies_ns
+        # a run that served nothing (e.g. breaker tripped at prewarm)
+        # reports -1 sentinels, never fabricated zeros — the stats
+        # helpers refuse empty samples for the same reason
+        if lat:
+            p50, p95, p99 = (percentile(lat, q) for q in (50, 95, 99))
+            mean = sum(lat) / len(lat)
+            peak = max(lat)
+        else:
+            p50 = p95 = p99 = mean = peak = -_NS_PER_MS
+        return cls(
+            strategy=strategy,
+            mix=mix,
+            rate_per_s=rate_per_s,
+            duration_s=duration_s,
+            arrivals=result.arrivals,
+            served=result.served,
+            rejected=result.rejected,
+            deadline_missed=result.deadline_missed,
+            cold_starts=result.cold_starts,
+            cold_frac=round(result.cold_fraction, 6),
+            degraded_serves=result.degraded_serves,
+            p50_ms=_ms(p50),
+            p95_ms=_ms(p95),
+            p99_ms=_ms(p99),
+            mean_ms=_ms(mean),
+            max_ms=_ms(peak),
+            max_queue_depth=result.max_queue_depth,
+            peak_pool_ready=result.pool.peak_ready,
+            pool_provisioned=result.pool.provisioned,
+            pool_retired_idle=result.pool.retired_idle,
+            provisioner_busy=round(result.provisioner_busy, 6),
+            breaker_tripped=result.breaker_tripped,
+        )
+
+
+@dataclass(frozen=True)
+class SloReport:
+    """The full `repro serve` output across strategies and offered loads."""
+
+    seed: int
+    function: str
+    mix: str
+    duration_s: float
+    pool_min: int
+    pool_max: int
+    provisioners: int
+    queue_cap: int
+    deadline_ms: float
+    samples_per_strategy: int
+    rows: tuple[StrategySlo, ...] = ()
+    schema_version: int = SCHEMA_VERSION
+
+    def to_dict(self) -> dict:
+        out = asdict(self)
+        out["rows"] = [asdict(r) for r in self.rows]
+        return out
+
+    def to_json(self) -> str:
+        """Canonical serialization: sorted keys, fixed float precision."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    def row(self, strategy: str, rate_per_s: float) -> StrategySlo:
+        for r in self.rows:
+            if r.strategy == strategy and r.rate_per_s == rate_per_s:
+                return r
+        raise KeyError(f"no row for strategy={strategy!r} rate={rate_per_s}")

@@ -9,6 +9,18 @@ The model is earliest-free-worker list scheduling: boots are admitted in a
 fixed order, each starting on the worker that frees up first.  Admission
 order is chosen by the caller (fleet index order), never by Python thread
 scheduling, so the makespan is deterministic for a given set of durations.
+
+Two admission shapes share the machinery:
+
+* **batch** (:meth:`FleetWallClock.schedule`) — every boot is ready at
+  time zero and the fleet races to drain them (the Section 6 makespan
+  experiment);
+* **open-loop** (:meth:`FleetWallClock.schedule_at`) — work becomes
+  ready at caller-chosen instants (a serve control plane provisioning
+  instances against live arrivals), so workers may sit idle between
+  admissions and the batch lower bound ``makespan >= serial / workers``
+  no longer applies.  ``busy_fraction`` reports the resulting
+  utilization over any observation horizon.
 """
 
 from __future__ import annotations
@@ -36,7 +48,9 @@ class FleetWallClock:
     Invariants (the fleet property tests rely on them):
 
     * ``makespan_ns <= serial_ns`` — overlap can only help;
-    * ``makespan_ns >= serial_ns / workers`` — no superlinear speedup;
+    * ``makespan_ns >= serial_ns / workers`` — no superlinear speedup
+      (batch admission via :meth:`schedule` only; open-loop admission
+      via :meth:`schedule_at` can leave workers idle between arrivals);
     * ``makespan_ns >= max(admitted durations)`` — the longest boot is a
       lower bound no amount of parallelism removes.
     """
@@ -54,10 +68,25 @@ class FleetWallClock:
 
     def schedule(self, duration_ns: float) -> BootWindow:
         """Schedule one boot; returns its worker slot and wall window."""
+        return self.schedule_at(0, duration_ns)
+
+    def schedule_at(self, ready_ns: int, duration_ns: float) -> BootWindow:
+        """Schedule work that becomes ready at ``ready_ns`` (open loop).
+
+        The work starts on the earliest-free worker, but never before it
+        is ready: ``start = max(worker free-at, ready_ns)``.  With
+        ``ready_ns=0`` this degenerates to batch admission.  Admission
+        order remains the caller's responsibility, so results stay a pure
+        function of the (ready, duration) sequence.
+        """
         ns = int(round(duration_ns))
         if ns < 0:
             raise ValueError(f"cannot admit negative duration: {duration_ns}")
-        start, worker = heapq.heappop(self._free)
+        ready = int(ready_ns)
+        if ready < 0:
+            raise ValueError(f"cannot admit work ready before t=0: {ready_ns}")
+        free_at, worker = heapq.heappop(self._free)
+        start = max(free_at, ready)
         end = start + ns
         heapq.heappush(self._free, (end, worker))
         self._serial_ns += ns
@@ -92,3 +121,15 @@ class FleetWallClock:
     def speedup(self) -> float:
         """serial / makespan; 1.0 for an empty or single-worker fleet."""
         return self._serial_ns / self._makespan_ns if self._makespan_ns else 1.0
+
+    def busy_fraction(self, horizon_ns: int | None = None) -> float:
+        """Worker utilization over ``horizon_ns`` (default: the makespan).
+
+        Open-loop admission leaves workers idle between arrivals; this is
+        the serve report's provisioner-utilization metric.  0.0 for an
+        empty schedule or a zero horizon.
+        """
+        horizon = self._makespan_ns if horizon_ns is None else int(horizon_ns)
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self._serial_ns / (horizon * self.workers))

@@ -23,7 +23,8 @@ from dataclasses import dataclass, field, replace
 
 from repro.core.layout_result import LayoutResult
 from repro.core.policy import RandomizationPolicy
-from repro.errors import MonitorError
+from repro.errors import BootFailure, InjectedFault, MonitorError
+from repro.faults.plan import FaultPlan
 from repro.kernel.image import KernelImage
 from repro.monitor.vm_handle import MicroVm
 from repro.pipeline import StageContext, build_restore_pipeline
@@ -65,6 +66,9 @@ class SnapshotManager:
     telemetry: Telemetry | None = None
     #: cost-attribution sink for restore pipelines (see telemetry.profiler)
     profiler: CostProfiler | None = None
+    #: seeded fault injection at restore-stage boundaries (None = zero
+    #: overhead); targetable stages are ``snapshot_restore`` and ``rebase``
+    fault_plan: FaultPlan | None = None
 
     def _telemetry(self) -> Telemetry:
         return self.telemetry if self.telemetry is not None else get_telemetry()
@@ -109,12 +113,18 @@ class SnapshotManager:
 
     # -- restore paths ---------------------------------------------------------
 
-    def restore(self, snapshot: Snapshot) -> tuple[MicroVm, float]:
+    def restore(
+        self, snapshot: Snapshot, *, boot_index: int = 0, attempt: int = 0
+    ) -> tuple[MicroVm, float]:
         """Restore a CoW clone; returns (vm, restore latency in ms)."""
-        return self._run_restore(snapshot, rebase=False, seed=0)
+        return self._run_restore(
+            snapshot, rebase=False, seed=0,
+            boot_index=boot_index, attempt=attempt,
+        )
 
     def restore_rebased(
-        self, snapshot: Snapshot, seed: int
+        self, snapshot: Snapshot, seed: int, *,
+        boot_index: int = 0, attempt: int = 0,
     ) -> tuple[MicroVm, float]:
         """Restore a clone *and* move it to a fresh KASLR offset.
 
@@ -131,14 +141,26 @@ class SnapshotManager:
                 f"{snapshot.kernel.name} carries no relocation info; "
                 "cannot rebase a restored clone"
             )
-        return self._run_restore(snapshot, rebase=True, seed=seed)
+        return self._run_restore(
+            snapshot, rebase=True, seed=seed,
+            boot_index=boot_index, attempt=attempt,
+        )
 
     def _run_restore(
-        self, snapshot: Snapshot, rebase: bool, seed: int
+        self, snapshot: Snapshot, rebase: bool, seed: int,
+        boot_index: int = 0, attempt: int = 0,
     ) -> tuple[MicroVm, float]:
         telemetry = self._telemetry()
         clock = SimClock()
         clock.profiler = self.profiler
+        # the index/attempt suffix keeps restore identities distinct even
+        # when the rebase seed repeats (plain restores always use seed 0):
+        # rate-based fault draws are per boot_id, so identical ids would
+        # collapse a whole pool's restores into one shared coin flip
+        boot_id = (
+            f"restore:{snapshot.kernel.name}:{seed:016x}"
+            f":{boot_index}:{attempt}"
+        )
         ctx = StageContext(
             clock=clock,
             costs=self._profiled_costs(self.profiler),
@@ -146,10 +168,27 @@ class SnapshotManager:
             snapshot=snapshot,
             policy=self.policy,
             telemetry=telemetry,
-            boot_id=f"restore:{snapshot.kernel.name}:{seed:016x}",
+            boot_id=boot_id,
             profiler=self.profiler,
+            fault_plan=self.fault_plan,
+            boot_index=boot_index,
+            attempt=attempt,
         )
-        build_restore_pipeline(rebase=rebase).run(ctx)
+        try:
+            build_restore_pipeline(rebase=rebase).run(ctx)
+        except InjectedFault as exc:
+            # same containment contract as Firecracker.boot_vm: an
+            # injected restore fault surfaces as a typed, attributed
+            # BootFailure the pool/platform can degrade on
+            raise BootFailure(
+                str(exc),
+                boot_id=boot_id,
+                stage=exc.boot_stage,
+                kind=exc.fault_kind,
+                attempt=attempt,
+                index=boot_index,
+                seed=seed,
+            ) from exc
         with snapshot._lock:
             snapshot._restores += 1
         telemetry.registry.counter(

@@ -1,0 +1,132 @@
+"""Serve control-plane smoke check (``make serve-smoke``).
+
+Drives the real CLI (``repro.cli.main``) through jitter-free serve runs
+and validates the control plane's load-bearing contracts end to end:
+
+* request conservation: every strategy serves or fails exactly the
+  arrivals it was offered, and the JSON report's own counters agree;
+* two identical seeded ``--json`` runs are byte-identical (the golden
+  determinism criterion, checked here through the actual CLI surface);
+* all three arrival mixes of one (seed, rate, duration) offer the same
+  number of requests (the warp-preserves-count contract);
+* warm strategies beat cold boots where it matters: restore p99 stays
+  below cold-boot p99 at a rate past the cold saturation knee;
+* a restore-stage fault plan degrades warm productions to cold boots
+  (``degraded_serves > 0``) without failing a single request.
+
+Exits non-zero with a one-line reason on any violation, so CI can run it
+right after the other CLI smoke steps.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import sys
+
+from repro.cli import main as cli_main
+
+#: every serve run shares these: small scale, jitter-free, fixed seed
+_BASE = [
+    "serve", "--kernel", "aws", "--scale", "16", "--jitter", "0",
+    "--seed", "7", "--duration", "5", "--samples", "6", "--json",
+]
+
+
+def _fail(reason: str) -> None:
+    print(f"serve-smoke: FAIL: {reason}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def _run(argv: list[str]) -> tuple[int, str]:
+    """One CLI invocation; returns (exit code, captured stdout)."""
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        code = cli_main(argv)
+    return code, out.getvalue()
+
+
+def _report(argv: list[str]) -> dict:
+    code, text = _run(argv)
+    if code != 0:
+        _fail(f"{' '.join(argv)} exited {code}")
+    return json.loads(text)
+
+
+def _check_conservation_and_determinism() -> None:
+    argv = _BASE + ["--rate", "40"]
+    code, text = _run(argv)
+    if code != 0:
+        _fail(f"serve exited {code}")
+    report = json.loads(text)
+    if len(report["rows"]) != 3:
+        _fail(f"expected one row per strategy, got {len(report['rows'])}")
+    for row in report["rows"]:
+        total = row["served"] + row["rejected"] + row["deadline_missed"]
+        if total != row["arrivals"]:
+            _fail(
+                f"{row['strategy']}: {row['served']} served + failures "
+                f"!= {row['arrivals']} arrivals"
+            )
+        if row["served"] < 1:
+            _fail(f"{row['strategy']} served nothing at a modest load")
+    code2, text2 = _run(argv)
+    if code2 != 0 or text2 != text:
+        _fail("two identical seeded serve runs diverged")
+
+
+def _check_mix_count_preservation() -> None:
+    counts = {}
+    for mix in ("poisson", "bursty", "diurnal"):
+        report = _report(
+            _BASE + ["--rate", "60", "--strategy", "restore",
+                     "--arrivals", mix]
+        )
+        counts[mix] = report["rows"][0]["arrivals"]
+    if len(set(counts.values())) != 1:
+        _fail(f"mixes disagree on offered volume: {counts}")
+
+
+def _check_warm_beats_cold() -> None:
+    # past the cold saturation knee, restore must hold its p99 under
+    # cold-boot's (the paper's instantiation-rate argument, served live)
+    report = _report(_BASE + ["--rate", "90", "--pool-max", "32"])
+    rows = {r["strategy"]: r for r in report["rows"]}
+    cold, restore = rows["cold-boot"], rows["restore"]
+    if restore["p99_ms"] >= cold["p99_ms"]:
+        _fail(
+            f"restore p99 {restore['p99_ms']}ms not below "
+            f"cold-boot p99 {cold['p99_ms']}ms at 90 req/s"
+        )
+    if restore["cold_frac"] >= 0.5:
+        _fail(f"restore pool mostly cold: {restore['cold_frac']}")
+
+
+def _check_fault_degradation() -> None:
+    report = _report(
+        _BASE
+        + ["--rate", "40", "--strategy", "restore",
+           "--inject-fault", "stage=snapshot_restore,kind=stage-timeout,rate=0.5"]
+    )
+    row = report["rows"][0]
+    if row["degraded_serves"] < 1:
+        _fail("restore faults at rate 0.5 produced no degraded serves")
+    if row["served"] + row["rejected"] + row["deadline_missed"] != row["arrivals"]:
+        _fail("degraded run broke request conservation")
+
+
+def main() -> int:
+    _check_conservation_and_determinism()
+    _check_mix_count_preservation()
+    _check_warm_beats_cold()
+    _check_fault_degradation()
+    print(
+        "serve-smoke: OK (conservation, byte-identical reruns, "
+        "mix volume parity, warm<cold p99, fault degradation)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

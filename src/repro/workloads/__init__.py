@@ -10,12 +10,19 @@ drives cold-boot or zygote strategies through whole invocations.
 """
 
 from repro.workloads.functions import FUNCTIONS, FunctionSpec, invoke_ns
-from repro.workloads.platform import InvocationRecord, ServerlessPlatform
+from repro.workloads.platform import (
+    InstanceStrategy,
+    InvocationRecord,
+    ProducedInstance,
+    ServerlessPlatform,
+)
 
 __all__ = [
     "FUNCTIONS",
     "FunctionSpec",
+    "InstanceStrategy",
     "InvocationRecord",
+    "ProducedInstance",
     "ServerlessPlatform",
     "invoke_ns",
 ]

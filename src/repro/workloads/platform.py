@@ -1,11 +1,21 @@
 """A serverless platform over the simulated monitor.
 
 One instance per invocation (the microVM model the paper targets):
-``handle`` produces the instance — cold boot, zygote restore, or
-rebase-on-restore — runs the function against the instance's real layout,
-and records end-to-end latency.  ``instantiation_rate_per_s`` is the
-Section 5.2 metric: how many instances one serial monitor thread can
-produce per second under each strategy.
+``produce`` manufactures the instance — cold boot, zygote restore, or
+rebase-on-restore — and ``handle`` runs the function against the
+instance's real layout, recording end-to-end latency.
+``instantiation_rate_per_s`` is the Section 5.2 metric: how many
+instances one serial monitor thread can produce per second under each
+strategy.
+
+The platform is also the *per-invocation backend* of the serve control
+plane (:mod:`repro.serve`): the engine leases instances out of warm
+pools instead of calling ``handle`` inline, and samples its production
+and invocation costs through :meth:`ServerlessPlatform.produce`.
+Production is fault-plan aware — when a warm restore dies on an
+injected fault, the platform degrades that instance to a cold boot
+rather than failing the pool, mirroring how real control planes fall
+back when a snapshot is unusable.
 """
 
 from __future__ import annotations
@@ -15,8 +25,9 @@ from dataclasses import dataclass, field
 from statistics import mean
 from typing import Callable
 
-from repro.errors import MonitorError
+from repro.errors import BootFailure, MonitorError
 from repro.monitor.config import VmConfig
+from repro.monitor.vm_handle import MicroVm
 from repro.monitor.vmm import Firecracker
 from repro.snapshot.checkpoint import SnapshotManager
 from repro.workloads.functions import FunctionSpec, invoke_ns
@@ -47,6 +58,25 @@ class InvocationRecord:
         return self.startup_ms + self.invoke_ms
 
 
+@dataclass(frozen=True)
+class ProducedInstance:
+    """One manufactured instance: the live guest and what it cost.
+
+    ``degraded`` marks a warm (restore) production that failed —
+    injected fault or organic — and fell back to a cold boot; the
+    startup latency then reflects the full failed-restore + cold-boot
+    path, which is exactly the tail the serve SLO report must see.
+    """
+
+    vm: MicroVm
+    startup_ms: float
+    degraded: bool = False
+
+    @property
+    def layout_offset(self) -> int:
+        return self.vm.layout.voffset
+
+
 @dataclass
 class ServerlessPlatform:
     """Per-invocation microVM platform."""
@@ -58,6 +88,8 @@ class ServerlessPlatform:
     _snapshot: object | None = None
     _manager: SnapshotManager | None = None
     setup_ms: float = 0.0
+    #: warm productions that degraded to cold boots (fault fallback)
+    degraded_count: int = 0
 
     def setup(self) -> None:
         """Prepare the platform (boot + snapshot the zygote if needed)."""
@@ -66,21 +98,75 @@ class ServerlessPlatform:
         cfg = self.cfg_factory(0)
         self.vmm.warm_caches(cfg)
         _report, vm = self.vmm.boot_vm(cfg)
-        self._manager = SnapshotManager(self.vmm.costs)
+        # the manager inherits the monitor's fault plan: restore-stage
+        # faults fire for warm productions, and the cold fallback runs
+        # under the same plan (a fully poisoned plan still fails)
+        self._manager = SnapshotManager(
+            self.vmm.costs,
+            telemetry=self.vmm.telemetry,
+            fault_plan=self.vmm.fault_plan,
+        )
         self._snapshot = self._manager.capture(vm)
         self.setup_ms = vm.clock.elapsed_ms()
 
-    def _instance(self, seed: int):
+    def _cold_instance(
+        self, seed: int, boot_index: int, attempt: int
+    ) -> tuple[MicroVm, float]:
+        cfg = self.cfg_factory(seed)
+        self.vmm.warm_caches(cfg)
+        report, vm = self.vmm.boot_vm(
+            cfg, boot_index=boot_index, attempt=attempt
+        )
+        return vm, report.total_ms
+
+    def produce(
+        self, seed: int, *, boot_index: int = 0
+    ) -> ProducedInstance:
+        """Manufacture one instance under the current strategy.
+
+        Warm strategies degrade: a restore that raises
+        :class:`~repro.errors.BootFailure` (e.g. an injected
+        ``snapshot_restore``/``rebase`` fault) falls back to a cold boot
+        of the same seed, so the instance's startup latency jumps from
+        restore-scale to boot-scale — the cold-start tail the serve SLO
+        report must see.  A cold production that fails propagates —
+        there is nothing left to degrade to.
+        """
         if self.strategy is InstanceStrategy.COLD_BOOT:
-            cfg = self.cfg_factory(seed)
-            self.vmm.warm_caches(cfg)
-            report, vm = self.vmm.boot_vm(cfg)
-            return vm, report.total_ms
+            vm, startup_ms = self._cold_instance(seed, boot_index, attempt=0)
+            return ProducedInstance(vm=vm, startup_ms=startup_ms)
         if self._snapshot is None or self._manager is None:
             raise MonitorError("platform not set up; call setup() first")
-        if self.strategy is InstanceStrategy.RESTORE_REBASE:
-            return self._manager.restore_rebased(self._snapshot, seed=seed)
-        return self._manager.restore(self._snapshot)
+        try:
+            if self.strategy is InstanceStrategy.RESTORE_REBASE:
+                vm, startup_ms = self._manager.restore_rebased(
+                    self._snapshot, seed=seed, boot_index=boot_index
+                )
+            else:
+                vm, startup_ms = self._manager.restore(
+                    self._snapshot, boot_index=boot_index
+                )
+            return ProducedInstance(vm=vm, startup_ms=startup_ms)
+        except BootFailure as exc:
+            self.degraded_count += 1
+            self._count_degraded(exc)
+            vm, cold_ms = self._cold_instance(seed, boot_index, attempt=1)
+            return ProducedInstance(vm=vm, startup_ms=cold_ms, degraded=True)
+
+    def _count_degraded(self, failure: BootFailure) -> None:
+        telemetry = self.vmm.telemetry
+        if telemetry is None:
+            return
+        telemetry.registry.counter(
+            "repro_platform_degraded_total",
+            help="Warm productions degraded to cold boots",
+            stage=failure.stage,
+            kind=failure.kind,
+        ).inc()
+
+    def _instance(self, seed: int):
+        produced = self.produce(seed)
+        return produced.vm, produced.startup_ms
 
     def handle(self, spec: FunctionSpec, seed: int) -> InvocationRecord:
         """Serve one invocation on a fresh instance."""
@@ -96,17 +182,24 @@ class ServerlessPlatform:
         return record
 
     # -- metrics ---------------------------------------------------------------
+    #
+    # Empty-records contract: all three metrics require at least one
+    # handled invocation.  ``layout_diversity`` used to return 0 on an
+    # empty record set while its siblings raised — a "zero diversity"
+    # reading that was really "no data", which a security regression
+    # gate would happily wave through.
+
+    def _require_records(self) -> list[InvocationRecord]:
+        if not self.records:
+            raise MonitorError("no invocations handled yet")
+        return self.records
 
     def instantiation_rate_per_s(self) -> float:
         """Instances per second a serial monitor thread sustains."""
-        if not self.records:
-            raise MonitorError("no invocations handled yet")
-        return 1000.0 / mean(r.startup_ms for r in self.records)
+        return 1000.0 / mean(r.startup_ms for r in self._require_records())
 
     def mean_total_ms(self) -> float:
-        if not self.records:
-            raise MonitorError("no invocations handled yet")
-        return mean(r.total_ms for r in self.records)
+        return mean(r.total_ms for r in self._require_records())
 
     def layout_diversity(self) -> int:
-        return len({r.layout_offset for r in self.records})
+        return len({r.layout_offset for r in self._require_records()})

@@ -41,7 +41,7 @@ def _slices(trace, boot_id):
 def test_restore_stages_render_without_admission(tiny_kaslr):
     """A standalone restore lands on track 0 at boot-local times."""
     telemetry, clone, latency_ms = _restored(tiny_kaslr, rebase=True)
-    restore_id = f"restore:{clone.kernel.name}:{77:016x}"
+    restore_id = f"restore:{clone.kernel.name}:{77:016x}:0:0"
     trace = to_chrome_trace(telemetry.snapshot())
 
     stage_slices = [
@@ -58,7 +58,7 @@ def test_restore_stages_render_without_admission(tiny_kaslr):
 def test_restore_slices_nest_inside_boot_wall_window(tiny_kaslr):
     """With an admission window, restore slices shift onto its track."""
     telemetry, clone, latency_ms = _restored(tiny_kaslr, rebase=False)
-    restore_id = f"restore:{clone.kernel.name}:{0:016x}"
+    restore_id = f"restore:{clone.kernel.name}:{0:016x}:0:0"
     window_start_ns = 5_000_000
     telemetry.boot_window(
         restore_id,

@@ -112,3 +112,59 @@ def test_fgkaslr_multiplier_in_paper_range(vmm, aws_kernels):
     base = vmm.boot(base_cfg)
     fg = vmm.boot(fg_cfg)
     assert 1.5 < fg.total_ms / base.total_ms < 3.0  # paper: 1.84x - 2.33x
+
+
+def test_serve_matrix_across_strategies(vmm, aws_kernels):
+    """The control plane end to end, per production strategy.
+
+    Every strategy must serve real traffic to completion with the books
+    balanced, and the zygote strategies must beat cold boots on tail
+    latency once the offered load passes the cold saturation knee.
+    """
+    from repro.serve import (
+        ArrivalSpec, AutoscalePolicy, SampledBackend, ServeConfig,
+        ServeEngine, StrategySlo,
+    )
+    from repro.telemetry.stats import percentile
+    from repro.workloads import FUNCTIONS, InstanceStrategy, ServerlessPlatform
+
+    kernel = aws_kernels[KernelVariant.KASLR]
+    spec = ArrivalSpec(rate_per_s=80.0, duration_s=4.0, seed=6)
+    results = {}
+    for strategy in InstanceStrategy:
+        platform = ServerlessPlatform(
+            vmm,
+            lambda seed: VmConfig(
+                kernel=kernel, randomize=RandomizeMode.KASLR, seed=seed
+            ),
+            strategy=strategy,
+        )
+        backend = SampledBackend.from_platform(
+            platform, FUNCTIONS["api-echo"], n_samples=6, seed=6
+        )
+        engine = ServeEngine(
+            backend,
+            ServeConfig(policy=AutoscalePolicy(min_ready=2, max_ready=24)),
+        )
+        result = engine.run(spec)
+        assert result.served > 0
+        assert result.served + result.failed == result.arrivals
+        # the report layer renders without recomputation
+        row = StrategySlo.from_result(
+            result, strategy=strategy.value, mix="poisson",
+            rate_per_s=80.0, duration_s=4.0,
+        )
+        assert row.served == result.served
+        results[strategy] = result
+
+    cold_p50 = percentile(results[InstanceStrategy.COLD_BOOT].latencies_ns, 50)
+    for warm in (InstanceStrategy.RESTORE, InstanceStrategy.RESTORE_REBASE):
+        warm_lat = results[warm].latencies_ns
+        assert percentile(warm_lat, 50) < cold_p50
+        # past the cold saturation knee even the warm *tail* beats the
+        # cold median — the zygote argument, served live
+        assert percentile(warm_lat, 99) < cold_p50
+        assert (
+            results[warm].cold_fraction
+            < results[InstanceStrategy.COLD_BOOT].cold_fraction
+        )

@@ -1,0 +1,59 @@
+"""Golden test: the seeded `repro serve --json` report is byte-stable.
+
+The SLO report is the artifact the benchmark gate and downstream tooling
+parse, so its serialization is a contract: for a fixed seed at
+``--jitter 0``, the CLI must emit *exactly* the committed bytes — across
+reruns, process boundaries, and refactors of the engine internals.  Any
+intentional change to the schema or the simulation must regenerate the
+golden file (and say so in review):
+
+    PYTHONPATH=src python -m repro serve --kernel aws --scale 64 \
+        --jitter 0 --seed 11 --duration 4 --samples 6 --rate 30 \
+        --rate 90 --arrivals poisson --json > tests/golden/serve_slo.json
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+from pathlib import Path
+
+from repro.cli import main as cli_main
+
+GOLDEN = Path(__file__).parent / "golden" / "serve_slo.json"
+
+ARGV = [
+    "serve", "--kernel", "aws", "--scale", "64", "--jitter", "0",
+    "--seed", "11", "--duration", "4", "--samples", "6",
+    "--rate", "30", "--rate", "90", "--arrivals", "poisson", "--json",
+]
+
+
+def _run() -> str:
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        code = cli_main(list(ARGV))
+    assert code == 0
+    return out.getvalue()
+
+
+def test_serve_json_matches_golden_bytes():
+    assert _run() == GOLDEN.read_text()
+
+
+def test_serve_json_rerun_is_byte_identical():
+    assert _run() == _run()
+
+
+def test_golden_is_canonical_json():
+    """The committed bytes themselves honor the canonical form."""
+    text = GOLDEN.read_text()
+    obj = json.loads(text)
+    assert obj["schema_version"] == 1
+    assert text == json.dumps(obj, sort_keys=True, indent=2) + "\n"
+    # one row per (strategy, rate) cell
+    assert len(obj["rows"]) == 6
+    for row in obj["rows"]:
+        total = row["served"] + row["rejected"] + row["deadline_missed"]
+        assert total == row["arrivals"]

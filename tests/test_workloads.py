@@ -97,3 +97,45 @@ def test_platform_guards(fc, tiny_kaslr):
     cold = ServerlessPlatform(fc, _factory(tiny_kaslr))
     with pytest.raises(MonitorError, match="no invocations"):
         cold.instantiation_rate_per_s()
+
+
+def test_empty_records_contract_is_uniform(fc, tiny_kaslr):
+    """All three platform metrics refuse an empty record set alike.
+
+    ``layout_diversity`` used to return 0 while its siblings raised —
+    "zero diversity" is a security alarm, "no data" is not, and a metric
+    that conflates them poisons any regression gate built on it.
+    """
+    platform = ServerlessPlatform(fc, _factory(tiny_kaslr))
+    for metric in (
+        platform.instantiation_rate_per_s,
+        platform.mean_total_ms,
+        platform.layout_diversity,
+    ):
+        with pytest.raises(MonitorError, match="no invocations"):
+            metric()
+    # one handled invocation unlocks all three
+    platform.handle(FUNCTIONS["api-echo"], seed=5)
+    assert platform.layout_diversity() == 1
+    assert platform.instantiation_rate_per_s() > 0
+    assert platform.mean_total_ms() > 0
+
+
+def test_produce_degrades_warm_failures_to_cold(fc, tiny_kaslr):
+    """A poisoned restore stage falls back to a cold boot, visibly."""
+    from repro.faults import FaultPlan
+
+    fc.fault_plan = FaultPlan.parse(
+        ["stage=snapshot_restore,kind=stage-timeout,rate=0.7"], seed=2
+    )
+    platform = ServerlessPlatform(
+        fc, _factory(tiny_kaslr), strategy=InstanceStrategy.RESTORE
+    )
+    platform.setup()
+    produced = [platform.produce(100 + i, boot_index=i) for i in range(10)]
+    degraded = [p for p in produced if p.degraded]
+    warm = [p for p in produced if not p.degraded]
+    assert degraded and warm
+    assert platform.degraded_count == len(degraded)
+    # the fallback charges a full cold boot: visibly slower than a restore
+    assert min(p.startup_ms for p in degraded) > max(p.startup_ms for p in warm)
