@@ -2,8 +2,8 @@
 
 PYTHON ?= python3
 
-.PHONY: install test metrics-smoke faults-smoke serve-smoke bench \
-	bench-paper bench-gate bench-clean fleet-bench examples clean
+.PHONY: install test metrics-smoke faults-smoke serve-smoke watch-smoke \
+	bench bench-paper bench-gate bench-clean fleet-bench examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -25,6 +25,11 @@ faults-smoke:
 # reruns, arrival-mix volume parity, warm-vs-cold p99, fault degradation
 serve-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.tools.serve_smoke
+
+# flight recorder through the CLI: byte-identical reruns, window tiling,
+# counter conservation, SLO alert firing, entropy-audit coverage
+watch-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.tools.watch_smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -5,6 +5,7 @@ Subcommands::
     python -m repro boot    --kernel aws --mode fgkaslr [--format bzimage ...]
     python -m repro fleet   --kernel aws --count 64 --workers 8   # Section 6
     python -m repro serve   --arrivals poisson --rate 40 --json   # SLO report
+    python -m repro watch   --strategy restore --audit            # flight rec.
     python -m repro metrics --kernel aws --vms 4                  # Prometheus
 
 ``boot`` and ``fleet`` accept ``--json`` (machine-readable report) and
@@ -29,6 +30,14 @@ stage=<s>,kind=<k>[,rate=<r>][,seed=<n>][,boot=<i>]`` (repeatable) for
 deterministic failure-containment runs; ``fleet`` adds ``--retries N``
 (per-boot retry budget, fresh seed per retry).
 
+``fleet``, ``serve``, and ``watch`` carry the flight recorder:
+``--timeseries-out PATH`` (windowed counter rates / gauges / percentiles
+as byte-stable JSON, ``--window-ms`` wide) and ``--audit`` (KASLR layout
+fingerprinting: distinct-layout fraction, empirical entropy bits, and
+address-validity lifetimes per strategy, to ``--audit-out``).  ``serve``
+and ``watch`` evaluate alert rules at every window close
+(``--slo-p99-ms``, ``--cold-budget``, ``--alert-for``).
+
 All times are simulated milliseconds at paper scale (see DESIGN.md §7).
 """
 
@@ -49,9 +58,14 @@ from repro.host import HostStorage
 from repro.kernel import PRESETS, KernelVariant
 from repro.monitor import BootFormat, BootProtocol, Firecracker, Qemu, VmConfig
 from repro.pipeline import PIPELINE_FLAVORS
+from repro.security.audit import KaslrAuditor
 from repro.simtime import CostModel, JitterModel
 from repro.telemetry import (
+    AlertManager,
+    AlertRule,
+    BurnRateRule,
     Telemetry,
+    TimeSeriesRecorder,
     to_chrome_trace,
     to_json_dump,
     to_prometheus,
@@ -109,6 +123,35 @@ def _emit_profile(args, profiler: CostProfiler | None) -> None:
     else:
         with open(out, "w", encoding="utf-8") as fh:
             fh.write(content)
+
+
+def _write_text(path: str, content: str) -> None:
+    if path == "-":
+        sys.stdout.write(content)
+    else:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(content)
+
+
+def _dump_json(obj) -> str:
+    return json.dumps(obj, indent=2, sort_keys=True) + "\n"
+
+
+def _make_recorder(args) -> TimeSeriesRecorder | None:
+    """A flight recorder when ``--timeseries-out`` asked for one."""
+    if getattr(args, "timeseries_out", None) is None:
+        return None
+    return TimeSeriesRecorder(window_ns=int(round(args.window_ms * 1e6)))
+
+
+def _emit_flight(args, recorder, auditor) -> None:
+    """Honor ``--timeseries-out`` and ``--audit``/``--audit-out``."""
+    if recorder is not None and getattr(args, "timeseries_out", None):
+        _write_text(args.timeseries_out, _dump_json(recorder.to_json_dict()))
+    if auditor is not None:
+        _write_text(
+            getattr(args, "audit_out", "-"), _dump_json(auditor.to_json_dict())
+        )
 
 
 def _render_export(telemetry: Telemetry, fmt: str) -> str:
@@ -242,10 +285,21 @@ def _cmd_boot(args) -> int:
 
 
 def _run_fleet(args):
-    """Launch one seeded fleet; returns ``(report, telemetry, profiler)``."""
+    """Launch one seeded fleet.
+
+    Returns ``(report, telemetry, profiler, recorder, auditor)``; the
+    recorder and auditor are ``None`` unless ``--timeseries-out`` /
+    ``--audit`` asked for them (zero overhead otherwise).
+    """
     from repro.monitor import BootArtifactCache, FleetManager
 
-    telemetry = Telemetry()
+    recorder = _make_recorder(args)
+    telemetry = Telemetry(timeseries=recorder)
+    auditor = (
+        KaslrAuditor(telemetry=telemetry)
+        if getattr(args, "audit", False)
+        else None
+    )
     profiler = _make_profiler(args)
     vmm = _make_vmm(args, telemetry=telemetry, profiler=profiler)
     vmm.artifact_cache = BootArtifactCache(
@@ -253,7 +307,7 @@ def _run_fleet(args):
     )
     cfg = _build_cfg(args)
     cfg.seed = None  # per-instance seeds come from the fleet manager
-    manager = FleetManager(vmm, workers=args.workers)
+    manager = FleetManager(vmm, workers=args.workers, auditor=auditor)
     report = manager.launch(
         cfg,
         args.count,
@@ -261,15 +315,19 @@ def _run_fleet(args):
         warm=not args.cold,
         retries=getattr(args, "retries", 1),
     )
-    return report, telemetry, profiler
+    if recorder is not None:
+        # the frame sequence tiles the fleet's whole wall-clock span
+        recorder.close(int(round(report.makespan_ms * 1e6)))
+    return report, telemetry, profiler, recorder, auditor
 
 
 def _cmd_fleet(args) -> int:
-    report, telemetry, profiler = _run_fleet(args)
+    report, telemetry, profiler, recorder, auditor = _run_fleet(args)
     if args.json:
         print(json.dumps(report.to_json(), indent=2))
         _emit_telemetry(args, telemetry)
         _emit_profile(args, profiler)
+        _emit_flight(args, recorder, auditor)
         return 0
     print(report.summary())
     for failure in report.failures:
@@ -298,13 +356,15 @@ def _cmd_fleet(args) -> int:
     )
     _emit_telemetry(args, telemetry)
     _emit_profile(args, profiler)
+    _emit_flight(args, recorder, auditor)
     return 0
 
 
 def _cmd_metrics(args) -> int:
     """Run one seeded fleet and print its Prometheus metrics text."""
-    _report, telemetry, _profiler = _run_fleet(args)
+    _report, telemetry, _profiler, recorder, auditor = _run_fleet(args)
     sys.stdout.write(to_prometheus(telemetry.snapshot()))
+    _emit_flight(args, recorder, auditor)
     return 0
 
 
@@ -312,8 +372,9 @@ def _cmd_profile(args) -> int:
     """Run a seeded fleet under the profiler and print the attribution."""
     args.profile = args.fmt  # reuse the boot/fleet profiler plumbing
     args.profile_out = args.out
-    _report, _telemetry, profiler = _run_fleet(args)
+    _report, _telemetry, profiler, recorder, auditor = _run_fleet(args)
     _emit_profile(args, profiler)
+    _emit_flight(args, recorder, auditor)
     return 0
 
 
@@ -469,11 +530,22 @@ def _cmd_serve(args) -> int:
         deadline_ns=int(round(args.deadline_ms * 1e6)),
     )
     telemetry = Telemetry()
+    want_recorder = getattr(args, "timeseries_out", None) is not None
+    flight = want_recorder or args.audit
+    auditor = KaslrAuditor(telemetry=telemetry) if args.audit else None
+    window_ns = int(round(args.window_ms * 1e6))
+    slo_ms = (
+        args.slo_p99_ms if args.slo_p99_ms is not None else args.deadline_ms
+    )
     rows = []
+    cells = []
     for strategy in strategies:
         # a fresh monitor per strategy: independent cost-jitter streams,
-        # so strategies stay comparable and byte-stable in any order
-        vmm = _make_vmm(args, telemetry=telemetry)
+        # so strategies stay comparable and byte-stable in any order.
+        # Each strategy writes metrics through its own scope, so counters
+        # never bleed between strategies sharing this process.
+        scope = telemetry.scoped(strategy=strategy.value)
+        vmm = _make_vmm(args, telemetry=scope)
         kernel = get_kernel(args.kernel, _MODE_VARIANT[mode], scale=args.scale)
         platform = ServerlessPlatform(
             vmm,
@@ -486,11 +558,23 @@ def _cmd_serve(args) -> int:
             platform, spec, n_samples=args.samples, seed=args.seed
         )
         for rate in rates:
+            cell = f"{strategy.value}@{rate:g}"
+            recorder = alerts = None
+            if want_recorder:
+                recorder = TimeSeriesRecorder(window_ns=window_ns)
+                alerts = AlertManager(
+                    _serve_alert_rules(args, slo_ms),
+                    telemetry=telemetry,
+                    track=f"alerts:{cell}",
+                ).attach(recorder)
             engine = ServeEngine(
                 backend,
                 config,
-                telemetry=telemetry,
+                telemetry=scope,
                 labels={"strategy": strategy.value, "mix": args.arrivals},
+                recorder=recorder,
+                auditor=auditor,
+                track=f"serve:{cell}" if flight else None,
             )
             result = engine.run(
                 ArrivalSpec(
@@ -509,6 +593,16 @@ def _cmd_serve(args) -> int:
                     duration_s=args.duration,
                 )
             )
+            if recorder is not None:
+                cells.append(
+                    {
+                        "strategy": strategy.value,
+                        "mix": args.arrivals,
+                        "rate_per_s": rate,
+                        "timeseries": recorder.to_json_dict(),
+                        "alerts": alerts.to_json_dict(),
+                    }
+                )
     report = SloReport(
         seed=args.seed,
         function=args.function,
@@ -525,6 +619,7 @@ def _cmd_serve(args) -> int:
     if args.json:
         sys.stdout.write(report.to_json())
         _emit_telemetry(args, telemetry)
+        _emit_serve_flight(args, cells, auditor)
         return 0
     print(
         render_table(
@@ -549,6 +644,184 @@ def _cmd_serve(args) -> int:
         )
     )
     _emit_telemetry(args, telemetry)
+    _emit_serve_flight(args, cells, auditor)
+    return 0
+
+
+def _serve_alert_rules(args, slo_ms: float) -> tuple:
+    """The default serve alert set: latency threshold + cold-start burn."""
+    return (
+        AlertRule(
+            "p99-above-slo",
+            "serve_latency_ms",
+            "p99",
+            ">",
+            slo_ms,
+            for_windows=args.alert_for,
+        ),
+        BurnRateRule(
+            "cold-start-burn",
+            "serve_cold_starts",
+            "serve_served",
+            budget=args.cold_budget,
+            long_windows=4,
+            short_windows=1,
+        ),
+    )
+
+
+def _emit_serve_flight(args, cells: list, auditor) -> None:
+    """Write the per-cell flight-recorder document and the audit report."""
+    if getattr(args, "timeseries_out", None):
+        doc = {
+            "schema_version": 1,
+            "window_ms": round(args.window_ms, 6),
+            "cells": cells,
+        }
+        _write_text(args.timeseries_out, _dump_json(doc))
+    if auditor is not None:
+        _write_text(args.audit_out, _dump_json(auditor.to_json_dict()))
+
+
+def _cmd_watch(args) -> int:
+    """Flight-recorder view of one serve cell: window table + alerts."""
+    from repro.serve import (
+        ArrivalSpec,
+        AutoscalePolicy,
+        SampledBackend,
+        ServeConfig,
+        ServeEngine,
+    )
+    from repro.workloads import FUNCTIONS, InstanceStrategy, ServerlessPlatform
+
+    if args.function not in FUNCTIONS:
+        print(
+            f"unknown function {args.function!r}; "
+            f"known: {', '.join(sorted(FUNCTIONS))}",
+            file=sys.stderr,
+        )
+        return 2
+    spec = FUNCTIONS[args.function]
+    strategy = InstanceStrategy(args.strategy)
+    mode = RandomizeMode(args.mode)
+    telemetry = Telemetry()
+    scope = telemetry.scoped(strategy=strategy.value)
+    vmm = _make_vmm(args, telemetry=scope)
+    kernel = get_kernel(args.kernel, _MODE_VARIANT[mode], scale=args.scale)
+    platform = ServerlessPlatform(
+        vmm,
+        lambda seed, k=kernel, m=mode: VmConfig(
+            kernel=k, randomize=m, seed=seed
+        ),
+        strategy=strategy,
+    )
+    backend = SampledBackend.from_platform(
+        platform, spec, n_samples=args.samples, seed=args.seed
+    )
+    config = ServeConfig(
+        policy=AutoscalePolicy(
+            min_ready=args.pool_min,
+            max_ready=args.pool_max,
+            scale_up_depth=args.scale_up_depth,
+            idle_ns=int(round(args.idle_ms * 1e6)),
+        ),
+        provisioners=args.provisioners,
+        queue_cap=args.queue_cap,
+        deadline_ns=int(round(args.deadline_ms * 1e6)),
+    )
+    cell = f"{strategy.value}@{args.rate:g}"
+    recorder = TimeSeriesRecorder(
+        window_ns=int(round(args.window_ms * 1e6))
+    )
+    slo_ms = (
+        args.slo_p99_ms if args.slo_p99_ms is not None else args.deadline_ms
+    )
+    alerts = AlertManager(
+        _serve_alert_rules(args, slo_ms),
+        telemetry=telemetry,
+        track=f"alerts:{cell}",
+    ).attach(recorder)
+    auditor = KaslrAuditor(telemetry=telemetry) if args.audit else None
+    engine = ServeEngine(
+        backend,
+        config,
+        telemetry=scope,
+        labels={"strategy": strategy.value, "mix": args.arrivals},
+        recorder=recorder,
+        auditor=auditor,
+        track=f"serve:{cell}",
+    )
+    engine.run(
+        ArrivalSpec(
+            rate_per_s=args.rate,
+            duration_s=args.duration,
+            mix=args.arrivals,
+            seed=args.seed,
+        )
+    )
+    transitions = alerts.to_json_dict()["transitions"]
+    if args.json:
+        doc = {
+            "schema_version": 1,
+            "window_ms": round(args.window_ms, 6),
+            "cells": [
+                {
+                    "strategy": strategy.value,
+                    "mix": args.arrivals,
+                    "rate_per_s": args.rate,
+                    "timeseries": recorder.to_json_dict(),
+                    "alerts": alerts.to_json_dict(),
+                }
+            ],
+        }
+        if auditor is not None:
+            doc["audit"] = auditor.to_json_dict()
+        sys.stdout.write(_dump_json(doc))
+        return 0
+
+    def cnt(frame, series: str) -> int:
+        return int(frame.value(series, "delta") or 0)
+
+    print(
+        render_table(
+            ["win", "start ms", "arrive", "served", "cold", "evict",
+             "p99 ms", "q max"],
+            [
+                [
+                    frame.index,
+                    f"{frame.start_ns / 1e6:g}",
+                    cnt(frame, "serve_arrivals"),
+                    cnt(frame, "serve_served"),
+                    cnt(frame, "serve_cold_starts"),
+                    cnt(frame, "serve_evicted"),
+                    f"{frame.value('serve_latency_ms', 'p99') or 0:.3f}",
+                    int(frame.value("serve_queue_depth", "max") or 0),
+                ]
+                for frame in recorder.windows()
+            ],
+            title=f"{cell} under {args.arrivals} arrivals "
+            f"(window {args.window_ms:g} ms)",
+        )
+    )
+    if transitions:
+        for t in transitions:
+            value = "-" if t["value"] is None else f"{t['value']:g}"
+            print(
+                f"  [{t['at_ms']:9.1f} ms] {t['rule']}: "
+                f"{t['from']} -> {t['to']} (value {value})"
+            )
+    else:
+        print("  no alert transitions")
+    if auditor is not None:
+        for name, audit in sorted(
+            auditor.to_json_dict()["strategies"].items()
+        ):
+            print(
+                f"  audit {name}: {audit['distinct_layouts']} distinct "
+                f"layouts / {audit['boots']} instances "
+                f"({audit['entropy_bits']:.2f} bits, "
+                f"{audit['duplicates']} duplicates)"
+            )
     return 0
 
 
@@ -565,6 +838,34 @@ def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
                              "cost profile in this format")
     parser.add_argument("--profile-out", default="-", metavar="PATH",
                         help="profile destination ('-' = stdout)")
+
+
+def _add_recorder_flags(
+    parser: argparse.ArgumentParser, window_ms: float
+) -> None:
+    parser.add_argument("--timeseries-out", default=None, metavar="PATH",
+                        help="record windowed time series and write the "
+                             "flight-recorder JSON here ('-' = stdout)")
+    parser.add_argument("--window-ms", type=float, default=window_ms,
+                        help="flight-recorder window width in simulated ms "
+                             f"(default {window_ms:g})")
+    parser.add_argument("--audit", action="store_true",
+                        help="fingerprint every produced KASLR layout "
+                             "(distinct-layout fraction, entropy, lifetime)")
+    parser.add_argument("--audit-out", default="-", metavar="PATH",
+                        help="audit report destination ('-' = stdout)")
+
+
+def _add_alert_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--slo-p99-ms", type=float, default=None,
+                        help="per-window p99 latency threshold for the "
+                             "alert rule (default: the request deadline)")
+    parser.add_argument("--cold-budget", type=float, default=0.25,
+                        help="cold-start SLO budget as a fraction of "
+                             "serves (burn-rate alert; default 0.25)")
+    parser.add_argument("--alert-for", type=int, default=1,
+                        help="windows a threshold breach must persist "
+                             "before the alert fires (default 1)")
 
 
 def _add_fleet_options(parser: argparse.ArgumentParser) -> None:
@@ -590,6 +891,7 @@ def _add_fleet_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cold", action="store_true",
                         help="skip warm-up (measure cold caches)")
     _add_fault_flags(parser)
+    _add_recorder_flags(parser, window_ms=50.0)
     parser.add_argument("--retries", type=int, default=1,
                         help="retry budget per failed boot (default 1)")
 
@@ -784,7 +1086,58 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the SLO report as canonical JSON")
     _add_fault_flags(serve)
     _add_telemetry_flags(serve)
+    _add_recorder_flags(serve, window_ms=1000.0)
+    _add_alert_flags(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    watch = sub.add_parser(
+        "watch", parents=[common],
+        help="flight recorder for one serve cell: per-window counters, "
+             "alert transitions, and the live KASLR entropy audit",
+    )
+    watch.add_argument("--kernel", choices=sorted(PRESETS), default="aws")
+    watch.add_argument("--mode", choices=[m.value for m in RandomizeMode],
+                       default="kaslr")
+    watch.add_argument("--function", default="api-echo",
+                       help="workload function (see repro.workloads.FUNCTIONS)")
+    watch.add_argument("--arrivals",
+                       choices=["poisson", "bursty", "diurnal"],
+                       default="poisson", help="open-loop traffic shape")
+    watch.add_argument("--rate", type=float, default=40.0, metavar="PER_S",
+                       help="offered load in requests/s (default 40)")
+    watch.add_argument("--duration", type=float, default=10.0,
+                       help="simulated seconds of traffic (default 10)")
+    watch.add_argument("--strategy",
+                       choices=["cold-boot", "restore", "restore-rebase"],
+                       default="restore",
+                       help="instance production strategy (default restore)")
+    watch.add_argument("--seed", type=int, default=1,
+                       help="seed for traffic and production sampling")
+    watch.add_argument("--samples", type=int, default=8,
+                       help="real productions measured per strategy")
+    watch.add_argument("--pool-min", type=int, default=2,
+                       help="warm-pool floor (prewarmed instances)")
+    watch.add_argument("--pool-max", type=int, default=16,
+                       help="warm-pool ceiling (autoscale cap)")
+    watch.add_argument("--scale-up-depth", type=int, default=2,
+                       help="queue depth that triggers scale-up")
+    watch.add_argument("--idle-ms", type=float, default=2000.0,
+                       help="idle time before scale-down to the floor")
+    watch.add_argument("--provisioners", type=int, default=4,
+                       help="parallel instance-production slots")
+    watch.add_argument("--queue-cap", type=int, default=64,
+                       help="admission queue bound (beyond it: rejected)")
+    watch.add_argument("--deadline-ms", type=float, default=30000.0,
+                       help="queued-request timeout")
+    watch.add_argument("--window-ms", type=float, default=1000.0,
+                       help="flight-recorder window width (default 1000)")
+    watch.add_argument("--audit", action="store_true",
+                       help="run the KASLR entropy auditor alongside")
+    watch.add_argument("--json", action="store_true",
+                       help="emit the flight-recorder document as JSON")
+    _add_fault_flags(watch)
+    _add_alert_flags(watch)
+    watch.set_defaults(func=_cmd_watch)
 
     faults = sub.add_parser(
         "faults",

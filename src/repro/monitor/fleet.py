@@ -31,7 +31,7 @@ import hashlib
 import random
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.errors import BootFailure, MonitorError
 from repro.monitor.artifact_cache import BootArtifactCache, CacheStats
@@ -42,6 +42,9 @@ from repro.simtime.fleetclock import FleetWallClock
 from repro.simtime.trace import BootStep
 from repro.telemetry import Telemetry, get_telemetry
 from repro.telemetry.stats import StageLatency, latency_summary, percentile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.security.audit import KaslrAuditor
 
 __all__ = [
     "FLEET_STAGES",
@@ -258,12 +261,15 @@ class FleetManager:
         vmm: Firecracker,
         workers: int = 8,
         telemetry: Telemetry | None = None,
+        auditor: "KaslrAuditor | None" = None,
     ) -> None:
         if workers < 1:
             raise MonitorError(f"fleet needs at least one worker, got {workers}")
         self.vmm = vmm
         self.workers = workers
         self.telemetry = telemetry
+        #: optional KASLR auditor; fed one layout fingerprint per boot
+        self.auditor = auditor
         if vmm.artifact_cache is None:
             vmm.artifact_cache = BootArtifactCache()
 
@@ -359,6 +365,13 @@ class FleetManager:
             telemetry.registry.counter(
                 "repro_fleet_boots_total", help="Boots launched by fleets"
             ).inc()
+            if self.auditor is not None:
+                self.auditor.record(
+                    boot_identity(cfg.kernel.name, seed),
+                    strategy=str(cfg.randomize),
+                    t_ns=window.end_ns,
+                    layout=report.layout,
+                )
         telemetry.registry.counter(
             "repro_fleet_launches_total", help="Fleet launches"
         ).inc()

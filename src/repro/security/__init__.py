@@ -6,14 +6,17 @@ FGKASLR, and Section 6's page-merging/memory-density discussion.
 """
 
 from repro.security.attacks import GadgetCatalog, LeakAttackResult, simulate_leak_attack
+from repro.security.audit import KaslrAuditor, layout_digest
 from repro.security.entropy import empirical_entropy_bits, offset_distribution
 from repro.security.pagemerge import PageMergeReport, merge_report
 
 __all__ = [
     "GadgetCatalog",
+    "KaslrAuditor",
     "LeakAttackResult",
     "PageMergeReport",
     "empirical_entropy_bits",
+    "layout_digest",
     "merge_report",
     "offset_distribution",
     "simulate_leak_attack",

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import BootFailure, MonitorError
+from repro.security.audit import layout_digest
 from repro.workloads.functions import FunctionSpec, invoke_ns
 from repro.workloads.platform import ServerlessPlatform
 
@@ -46,6 +47,11 @@ class ProductionSample:
     layout_offset: int
     degraded: bool = False
     failed: bool = False
+    #: KASLR layout fingerprint of the produced instance (see
+    #: :func:`repro.security.audit.layout_digest`), captured at sampling
+    #: time so the auditor never touches a pipeline on the hot path;
+    #: empty for failed productions and hand-built test samples
+    layout_digest: str = ""
 
 
 @dataclass(frozen=True)
@@ -119,6 +125,7 @@ class SampledBackend:
                     ),
                     layout_offset=produced.layout_offset,
                     degraded=produced.degraded,
+                    layout_digest=layout_digest(produced.vm.layout),
                 )
             )
         ok = [s for s in measured if s is not None]

@@ -38,11 +38,13 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.errors import MonitorError
+from repro.security.audit import KaslrAuditor
 from repro.serve.arrivals import ArrivalSpec, generate_arrivals
 from repro.serve.backend import ProductionSample, SampledBackend
 from repro.serve.pool import AutoscalePolicy, PoolStats, WarmInstance, WarmPool
 from repro.simtime.fleetclock import FleetWallClock
 from repro.telemetry import Telemetry
+from repro.telemetry.timeseries import TimeSeriesRecorder
 
 __all__ = ["EventKind", "ServeConfig", "ServeEngine", "ServeResult"]
 
@@ -136,11 +138,22 @@ class ServeEngine:
         config: ServeConfig,
         telemetry: Telemetry | None = None,
         labels: dict[str, str] | None = None,
+        recorder: TimeSeriesRecorder | None = None,
+        auditor: KaslrAuditor | None = None,
+        track: str | None = None,
     ) -> None:
         self.backend = backend
         self.config = config
         self.telemetry = telemetry
         self.labels = dict(labels or {})
+        #: optional flight recorder fed per event (arrivals, serves, depth)
+        self.recorder = recorder
+        #: optional KASLR auditor fed one record per provisioned instance
+        self.auditor = auditor
+        #: Chrome-trace track for lifecycle spans; spans only materialize
+        #: when both a telemetry sink and a track name are configured, so
+        #: plain engine runs stay event-free
+        self.track = track
 
     # -- internal helpers ------------------------------------------------------
 
@@ -155,6 +168,65 @@ class ServeEngine:
             name, help=help_text, **self.labels, **extra
         ).inc(amount)
 
+    def _ts_count(self, t_ns: int, name: str, amount: int = 1) -> None:
+        if self.recorder is not None:
+            self.recorder.count(t_ns, name, amount)
+
+    def _ts_gauge(self, t_ns: int, name: str, value: float) -> None:
+        if self.recorder is not None:
+            self.recorder.set_gauge(t_ns, name, value)
+
+    def _ts_observe(self, t_ns: int, name: str, value: float) -> None:
+        if self.recorder is not None:
+            self.recorder.observe(t_ns, name, value)
+
+    def _span(
+        self,
+        name: str,
+        *,
+        start_ns: int,
+        duration_ns: int = 0,
+        worker: int | None = None,
+        detail: str = "",
+    ) -> None:
+        if self.telemetry is None or self.track is None:
+            return
+        self.telemetry.serve_span(
+            self.track,
+            name=name,
+            start_ns=start_ns,
+            duration_ns=duration_ns,
+            worker=worker,
+            detail=detail,
+        )
+
+    def _audit_strategy(self) -> str:
+        return self.labels.get("strategy", self.track or "serve")
+
+    def _audit_record(
+        self, instance_id: int, sample: ProductionSample, t_ns: int
+    ) -> None:
+        if self.auditor is None:
+            return
+        # hand-built test samples carry no digest; the layout offset is
+        # the next-best fingerprint (coarser: FGKASLR shuffles invisible)
+        digest = sample.layout_digest or f"off:{sample.layout_offset:#x}"
+        self._instance_digest[instance_id] = digest
+        self.auditor.record(
+            f"{self.track or 'serve'}:instance:{instance_id}",
+            strategy=self._audit_strategy(),
+            t_ns=t_ns,
+            digest=digest,
+        )
+
+    def _audit_touch(self, instance_id: int, t_ns: int) -> None:
+        """Extend a layout's validity span to its last live sighting."""
+        if self.auditor is None:
+            return
+        digest = self._instance_digest.pop(instance_id, None)
+        if digest is not None:
+            self.auditor.touch(self._audit_strategy(), digest, t_ns)
+
     def _provision(self, now_ns: int) -> None:
         """Chase the target: start provisions until the deficit closes."""
         if self._breaker_tripped:
@@ -165,6 +237,14 @@ class ServeEngine:
             sample = self.backend.sample(self._production_index)
             self._production_index += 1
             window = self._provisioners.schedule_at(now_ns, sample.startup_ns)
+            self._ts_count(now_ns, "serve_provision_started")
+            self._span(
+                "provision",
+                start_ns=window.start_ns,
+                duration_ns=window.end_ns - window.start_ns,
+                worker=window.worker,
+                detail=f"instance={instance_id} failed={sample.failed}",
+            )
             if sample.failed:
                 # the provisioner still burns the time before giving up
                 self._push(window.end_ns, EventKind.READY, -(instance_id + 1))
@@ -185,7 +265,7 @@ class ServeEngine:
                 return
             self._queue.popleft()
             self._resolved.add(req)
-            self._serving[inst.instance_id] = (req, inst)
+            self._serving[inst.instance_id] = (req, inst, now_ns)
             sample = self._instance_sample[inst.instance_id]
             done = now_ns + sample.invoke_ns
             self._push(done, EventKind.DONE, inst.instance_id)
@@ -211,9 +291,10 @@ class ServeEngine:
         self._queue: deque[int] = deque()
         self._resolved: set[int] = set()
         self._arrival_of: dict[int, int] = {}
-        self._serving: dict[int, tuple[int, WarmInstance]] = {}
+        self._serving: dict[int, tuple[int, WarmInstance, int]] = {}
         self._pending: dict[int, ProductionSample] = {}
         self._instance_sample: dict[int, ProductionSample] = {}
+        self._instance_digest: dict[int, str] = {}
         self._production_index = 0
         self._consecutive_failures = 0
         self._breaker_tripped = False
@@ -238,8 +319,15 @@ class ServeEngine:
             if sample.failed:
                 self._pool.fail_provision()
                 self._consecutive_failures += 1
+                self._ts_count(0, "serve_provision_failures")
                 if self._consecutive_failures >= cfg.max_provision_failures:
                     self._breaker_tripped = True
+                    self._ts_count(0, "serve_breaker_trips")
+                    self._span(
+                        "breaker",
+                        start_ns=0,
+                        detail=f"failures={self._consecutive_failures}",
+                    )
             else:
                 self._consecutive_failures = 0
                 self._instance_sample[instance_id] = sample
@@ -250,6 +338,11 @@ class ServeEngine:
                     layout_offset=sample.layout_offset,
                     degraded=sample.degraded,
                 )
+                self._ts_count(0, "serve_prewarmed")
+                self._span(
+                    "prewarm", start_ns=0, detail=f"instance={instance_id}"
+                )
+                self._audit_record(instance_id, sample, 0)
 
         for idx, when in enumerate(arrivals):
             self._push(when, EventKind.ARRIVE, idx)
@@ -257,8 +350,16 @@ class ServeEngine:
         while self._events:
             now_ns, kind, _seq, payload = heapq.heappop(self._events)
             kind = EventKind(kind)
+            if self.recorder is not None and (
+                kind is not EventKind.DEADLINE or payload not in self._resolved
+            ):
+                # deadline sentinels for already-served requests are
+                # no-ops; advancing on them would drag an empty window
+                # tail out to arrival + deadline
+                self.recorder.advance(now_ns)
 
             if kind is EventKind.ARRIVE:
+                self._ts_count(now_ns, "serve_arrivals")
                 if len(self._queue) >= cfg.queue_cap:
                     rejected += 1
                     self._resolved.add(payload)
@@ -267,10 +368,12 @@ class ServeEngine:
                         "Requests the control plane failed",
                         reason="rejected",
                     )
+                    self._ts_count(now_ns, "serve_rejected")
                     continue
                 self._queue.append(payload)
                 self._arrival_of[payload] = now_ns
                 max_queue_depth = max(max_queue_depth, len(self._queue))
+                self._ts_gauge(now_ns, "serve_queue_depth", len(self._queue))
                 self._push(
                     now_ns + cfg.deadline_ns, EventKind.DEADLINE, payload
                 )
@@ -287,8 +390,15 @@ class ServeEngine:
                         "repro_serve_provision_failures_total",
                         "Productions that died (cold fallback included)",
                     )
+                    self._ts_count(now_ns, "serve_provision_failures")
                     if self._consecutive_failures >= cfg.max_provision_failures:
                         self._breaker_tripped = True
+                        self._ts_count(now_ns, "serve_breaker_trips")
+                        self._span(
+                            "breaker",
+                            start_ns=now_ns,
+                            detail=f"failures={self._consecutive_failures}",
+                        )
                     else:
                         self._provision(now_ns)
                     continue
@@ -302,10 +412,15 @@ class ServeEngine:
                     layout_offset=sample.layout_offset,
                     degraded=sample.degraded,
                 )
+                self._ts_count(now_ns, "serve_provisioned")
+                self._ts_gauge(
+                    now_ns, "serve_pool_ready", self._pool.ready_count
+                )
+                self._audit_record(payload, sample, now_ns)
                 self._dispatch(now_ns)
 
             elif kind is EventKind.DONE:
-                req, inst = self._serving.pop(payload)
+                req, inst, lease_ns = self._serving.pop(payload)
                 self._instance_sample.pop(payload, None)
                 self._pool.finish(inst)
                 arrival = self._arrival_of.pop(req)
@@ -323,6 +438,19 @@ class ServeEngine:
                     cold=str(cold).lower(),
                 )
                 self._observe_latency(now_ns - arrival)
+                self._span(
+                    "lease",
+                    start_ns=lease_ns,
+                    duration_ns=now_ns - lease_ns,
+                    detail=f"req={req} cold={str(cold).lower()}",
+                )
+                self._ts_count(now_ns, "serve_served")
+                if cold:
+                    self._ts_count(now_ns, "serve_cold_starts")
+                self._ts_observe(
+                    now_ns, "serve_latency_ms", (now_ns - arrival) / 1e6
+                )
+                self._audit_touch(payload, now_ns)
                 self._provision(now_ns)
                 self._dispatch(now_ns)
 
@@ -340,6 +468,7 @@ class ServeEngine:
                     "Requests the control plane failed",
                     reason="deadline",
                 )
+                self._ts_count(now_ns, "serve_deadline_missed")
 
             elif kind is EventKind.IDLE:
                 if now_ns < self._idle_at:
@@ -347,10 +476,22 @@ class ServeEngine:
                     continue
                 self._idle_armed = False
                 if not self._queue:
-                    self._pool.scale_to_floor(now_ns)
+                    retired = self._pool.scale_to_floor(now_ns)
+                    self._ts_count(now_ns, "serve_evicted", len(retired))
+                    for inst in retired:
+                        self._span(
+                            "evict",
+                            start_ns=now_ns,
+                            detail=f"instance={inst.instance_id}",
+                        )
+                        self._audit_touch(inst.instance_id, now_ns)
 
         self._pool.drain()
         self._export_gauges(max_queue_depth)
+        if self.recorder is not None:
+            # close every window through the run horizon so the frame
+            # sequence tiles the full observation span deterministically
+            self.recorder.close(horizon_ns)
 
         return ServeResult(
             arrivals=len(arrivals),

@@ -28,8 +28,11 @@ import threading
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Iterator
 
+from repro.telemetry.alerts import AlertManager, AlertRule, BurnRateRule
 from repro.telemetry.events import (
+    KIND_ALERT,
     KIND_BOOT,
+    KIND_SERVE,
     KIND_STAGE,
     BootEvent,
     BootEventLog,
@@ -51,8 +54,10 @@ from repro.telemetry.registry import (
     MetricFamily,
     MetricPoint,
     MetricsRegistry,
+    ScopedRegistry,
 )
 from repro.telemetry.stats import StageLatency, latency_summary, percentile
+from repro.telemetry.timeseries import TimeSeriesRecorder, WindowFrame
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.simtime.trace import StageSpan
@@ -69,11 +74,28 @@ class Telemetry:
 
     def __init__(
         self,
-        registry: MetricsRegistry | None = None,
+        registry: MetricsRegistry | ScopedRegistry | None = None,
         log: BootEventLog | None = None,
+        timeseries: TimeSeriesRecorder | None = None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.log = log if log is not None else BootEventLog()
+        #: optional flight recorder; sink methods feed it when installed
+        self.timeseries = timeseries
+
+    def scoped(self, **labels: str) -> "Telemetry":
+        """A label-injecting view sharing this instance's log/recorder.
+
+        Metrics written through the view carry ``labels``; the event log
+        and flight recorder are shared, so one snapshot still sees the
+        whole run.  `repro serve` hands each strategy its own scope to
+        keep counters from bleeding between strategies in one process.
+        """
+        return Telemetry(
+            registry=ScopedRegistry(self.registry, labels),
+            log=self.log,
+            timeseries=self.timeseries,
+        )
 
     # -- TelemetrySink ---------------------------------------------------------
 
@@ -113,6 +135,15 @@ class Telemetry:
                 help="Pipeline stages that missed a cache",
                 stage=span.name,
             ).inc()
+        recorder = self.timeseries
+        if recorder is not None and recorder.include_stage_spans:
+            # stage spans run on boot-local clocks; only a recorder that
+            # opted in mixes them onto its window axis (single-boot use)
+            end_ns = span.start_ns + span.charged_ns
+            recorder.count(end_ns, "stage_runs")
+            recorder.observe(
+                end_ns, f"stage_{span.name}_ms", span.charged_ns / NS_PER_MS
+            )
 
     def boot_window(
         self,
@@ -135,11 +166,44 @@ class Telemetry:
             worker=worker,
             detail=detail,
         )
+        recorder = self.timeseries
+        if recorder is not None:
+            # fleet wall time: the boot lands in the window it completed
+            end_ns = start_ns + duration_ns
+            recorder.count(end_ns, "fleet_boots")
+            recorder.observe(end_ns, "boot_ms", duration_ns / NS_PER_MS)
+
+    def serve_span(
+        self,
+        track: str,
+        *,
+        name: str,
+        start_ns: int,
+        duration_ns: int = 0,
+        worker: int | None = None,
+        detail: str = "",
+    ) -> None:
+        """Record one serve-engine lifecycle event (provision/lease/...).
+
+        ``track`` groups events into one Chrome-trace track per engine
+        run (``serve:<strategy>@<rate>``), separate from worker tracks.
+        """
+        self.log.record(
+            boot_id=track,
+            kind=KIND_SERVE,
+            name=name,
+            category="serve",
+            principal="control-plane",
+            start_ns=start_ns,
+            duration_ns=duration_ns,
+            worker=worker,
+            detail=detail,
+        )
 
     # -- snapshotting ----------------------------------------------------------
 
     def snapshot(self) -> TelemetrySnapshot:
-        return TelemetrySnapshot.of(self.registry, self.log)
+        return TelemetrySnapshot.of(self.registry, self.log, self.timeseries)
 
 
 _default = Telemetry()
@@ -173,23 +237,31 @@ def scoped_telemetry(telemetry: Telemetry | None = None) -> Iterator[Telemetry]:
 
 
 __all__ = [
+    "AlertManager",
+    "AlertRule",
     "BootEvent",
     "BootEventLog",
+    "BurnRateRule",
     "CostProfiler",
     "Counter",
     "DEFAULT_NS_BUCKETS",
     "Gauge",
     "Histogram",
+    "KIND_ALERT",
     "KIND_BOOT",
+    "KIND_SERVE",
     "KIND_STAGE",
     "MetricFamily",
     "MetricPoint",
     "MetricsRegistry",
     "NS_PER_MS",
+    "ScopedRegistry",
     "StageLatency",
     "Telemetry",
     "TelemetrySink",
     "TelemetrySnapshot",
+    "TimeSeriesRecorder",
+    "WindowFrame",
     "get_telemetry",
     "latency_summary",
     "percentile",

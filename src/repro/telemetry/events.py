@@ -33,9 +33,12 @@ from typing import TYPE_CHECKING, Iterator, Protocol, runtime_checkable
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.simtime.trace import StageSpan
 
-#: event kinds: one pipeline stage window, or one scheduled fleet boot
+#: event kinds: a pipeline stage window, a scheduled fleet boot, a serve
+#: control-plane lifecycle event, or an alert state transition
 KIND_STAGE = "stage"
 KIND_BOOT = "boot"
+KIND_SERVE = "serve"
+KIND_ALERT = "alert"
 
 
 @dataclass(frozen=True)

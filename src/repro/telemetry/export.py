@@ -26,11 +26,21 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.telemetry.events import KIND_BOOT, KIND_STAGE, BootEvent, BootEventLog
+from repro.telemetry.events import (
+    KIND_ALERT,
+    KIND_BOOT,
+    KIND_SERVE,
+    KIND_STAGE,
+    BootEvent,
+    BootEventLog,
+)
 from repro.telemetry.registry import MetricFamily, MetricsRegistry
 
 #: ``pid`` used for every slice — the whole simulation is one "process"
 TRACE_PID = 0
+
+#: serve-engine lifecycle tracks start here, clear of any worker tid
+SERVE_TID_BASE = 1000
 
 
 @dataclass(frozen=True)
@@ -39,14 +49,22 @@ class TelemetrySnapshot:
 
     metrics: tuple[MetricFamily, ...]
     events: tuple[BootEvent, ...]
+    #: the flight recorder's windowed export, when one was installed
+    timeseries: dict | None = None
 
     @classmethod
     def of(
-        cls, registry: MetricsRegistry, log: BootEventLog
+        cls,
+        registry: MetricsRegistry,
+        log: BootEventLog,
+        timeseries=None,
     ) -> "TelemetrySnapshot":
         return cls(
             metrics=registry.collect(),
             events=tuple(sorted(log.events(), key=BootEvent.sort_key)),
+            timeseries=(
+                timeseries.to_json_dict() if timeseries is not None else None
+            ),
         )
 
 
@@ -107,7 +125,46 @@ def to_prometheus(snapshot: TelemetrySnapshot) -> str:
                     f"{family.name}{_fmt_labels(point.labels)} "
                     f"{_fmt_value(point.value)}"
                 )
+    lines.extend(_prometheus_window_tail(snapshot))
     return "\n".join(lines) + "\n" if lines else ""
+
+
+def _prometheus_window_tail(snapshot: TelemetrySnapshot) -> list[str]:
+    """Windowed series from the latest closed flight-recorder window.
+
+    Prometheus is a current-value protocol, so the tail exports the most
+    recent window only: counter rates, gauge lasts, and distribution
+    p99s, each labeled by series name.  Absent entirely when no recorder
+    ran — existing exports stay byte-identical.
+    """
+    ts = snapshot.timeseries
+    if not ts or not ts.get("windows"):
+        return []
+    last = ts["windows"][-1]
+    lines = [
+        "# HELP repro_window_index Index of the latest closed window",
+        "# TYPE repro_window_index gauge",
+        f"repro_window_index {last['index']}",
+    ]
+    sections = (
+        ("repro_window_rate_per_s", "counters", "rate_per_s",
+         "Per-window counter rate"),
+        ("repro_window_gauge", "gauges", "last", "Per-window gauge (last)"),
+        ("repro_window_p99", "distributions", "p99",
+         "Per-window distribution p99"),
+    )
+    for metric, section, field, help_text in sections:
+        entries = last.get(section) or {}
+        if not entries:
+            continue
+        lines.append(f"# HELP {metric} {help_text}")
+        lines.append(f"# TYPE {metric} gauge")
+        for series in sorted(entries):
+            lines.append(
+                f'{metric}{{series="{_escape_label(series)}"}} '
+                f"{_fmt_value(entries[series][field])}"
+            )
+    return lines
 
 
 # -- Chrome trace_event JSON ---------------------------------------------------
@@ -210,7 +267,65 @@ def to_chrome_trace(snapshot: TelemetrySnapshot) -> dict:
             }
         )
 
+    trace_events.extend(_serve_track_events(snapshot))
+
     return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def _serve_track_events(snapshot: TelemetrySnapshot) -> list[dict]:
+    """Serve-engine lifecycle events as dedicated tracks (tid 1000+).
+
+    One track per engine run (the event's ``boot_id`` is the track
+    name, e.g. ``serve:restore@40``): complete slices for provisions
+    and leases, zero-duration slices for evictions and breaker trips.
+    Alert transitions render as instant events on their own track.
+    Empty (and therefore absent) for boot/fleet-only snapshots, so
+    existing traces stay byte-identical.
+    """
+    lifecycle = [e for e in snapshot.events if e.kind in (KIND_SERVE, KIND_ALERT)]
+    if not lifecycle:
+        return []
+    tracks = sorted({e.boot_id for e in lifecycle})
+    tid_of = {track: SERVE_TID_BASE + i for i, track in enumerate(tracks)}
+    out: list[dict] = [
+        {
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": tid_of[track],
+            "name": "thread_name",
+            "args": {"name": track},
+        }
+        for track in tracks
+    ]
+    for event in sorted(lifecycle, key=BootEvent.sort_key):
+        args = {"detail": event.detail} if event.detail else {}
+        if event.kind == KIND_ALERT:
+            out.append(
+                {
+                    "name": f"alert {event.name}",
+                    "cat": "alert",
+                    "ph": "i",
+                    "s": "t",  # thread-scoped instant
+                    "ts": event.start_ns / 1e3,
+                    "pid": TRACE_PID,
+                    "tid": tid_of[event.boot_id],
+                    "args": args,
+                }
+            )
+        else:
+            out.append(
+                {
+                    "name": event.name,
+                    "cat": "serve",
+                    "ph": "X",
+                    "ts": event.start_ns / 1e3,
+                    "dur": event.duration_ns / 1e3,
+                    "pid": TRACE_PID,
+                    "tid": tid_of[event.boot_id],
+                    "args": args,
+                }
+            )
+    return out
 
 
 # -- plain JSON dump -----------------------------------------------------------
@@ -244,7 +359,12 @@ def to_json_dump(snapshot: TelemetrySnapshot) -> dict:
                 "points": points,
             }
         )
-    return {
+    out = {
         "metrics": metrics,
         "events": [event.to_json() for event in snapshot.events],
     }
+    if snapshot.timeseries is not None:
+        # only recorder-equipped runs carry the key, so pre-existing
+        # dumps (and their goldens) stay byte-identical
+        out["timeseries"] = snapshot.timeseries
+    return out

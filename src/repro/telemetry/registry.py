@@ -259,6 +259,52 @@ class MetricFamily:
     points: tuple[MetricPoint, ...]
 
 
+class ScopedRegistry:
+    """A label-injecting view over a base registry.
+
+    Every instrument handed out carries the scope's labels merged with
+    the call-site labels (call-site wins on conflict, so a layer that
+    already labels explicitly keeps doing so).  Instruments live in the
+    *base* registry — a scope is a view, not a store — which is how
+    `repro serve` keeps per-strategy metrics separated inside one shared
+    snapshot: each strategy's monitor writes through its own scope, and
+    families collect with a ``strategy`` label instead of bleeding into
+    one unlabeled point.
+    """
+
+    def __init__(self, base: "MetricsRegistry", labels: dict[str, str]) -> None:
+        self._base = base
+        self._labels = {k: str(v) for k, v in labels.items()}
+        _check_labels(self._labels)  # fail at scope creation, not first use
+
+    @property
+    def scope_labels(self) -> dict[str, str]:
+        return dict(self._labels)
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        return self._base.counter(name, help=help, **{**self._labels, **labels})
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        return self._base.gauge(name, help=help, **{**self._labels, **labels})
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[int, ...] = DEFAULT_NS_BUCKETS,
+        scale: float = 1.0,
+        **labels: str,
+    ) -> Histogram:
+        return self._base.histogram(
+            name, help=help, buckets=buckets, scale=scale,
+            **{**self._labels, **labels},
+        )
+
+    def collect(self) -> tuple[MetricFamily, ...]:
+        """The whole base registry — a scope filters writes, not reads."""
+        return self._base.collect()
+
+
 class MetricsRegistry:
     """Owns every instrument; hands out get-or-create labeled metrics.
 

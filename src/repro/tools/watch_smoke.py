@@ -1,0 +1,144 @@
+"""Flight-recorder smoke check (``make watch-smoke``).
+
+Drives the real CLI (``repro.cli.main``) through jitter-free ``watch``
+runs and validates the flight recorder's load-bearing contracts end to
+end:
+
+* two identical seeded ``--json`` runs are byte-identical;
+* the emitted windows tile simulated time (contiguous indices, each
+  frame's end is its successor's start) and the per-window counter
+  deltas plus the evicted totals reconcile with the cumulative totals
+  (conservation — no sample lost to window edges or ring eviction);
+* a cold-boot cell offered load past its SLO produces a firing alert
+  transition, and the audit section reports every provisioned instance;
+* the human table mode exits 0 and renders the window table.
+
+Exits non-zero with a one-line reason on any violation, so CI can run it
+right after the other CLI smoke steps.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import sys
+
+from repro.cli import main as cli_main
+
+#: every watch run shares these: small scale, jitter-free, fixed seed
+_BASE = [
+    "watch", "--kernel", "aws", "--scale", "16", "--jitter", "0",
+    "--seed", "7", "--duration", "4", "--samples", "6",
+]
+
+
+def _fail(reason: str) -> None:
+    print(f"watch-smoke: FAIL: {reason}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def _run(argv: list[str]) -> tuple[int, str]:
+    """One CLI invocation; returns (exit code, captured stdout)."""
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        code = cli_main(argv)
+    return code, out.getvalue()
+
+
+def _doc(argv: list[str]) -> dict:
+    code, text = _run(argv)
+    if code != 0:
+        _fail(f"{' '.join(argv)} exited {code}")
+    return json.loads(text)
+
+
+def _check_determinism() -> None:
+    argv = _BASE + ["--rate", "40", "--json", "--audit"]
+    code, text = _run(argv)
+    if code != 0:
+        _fail(f"watch exited {code}")
+    code2, text2 = _run(argv)
+    if code2 != 0 or text2 != text:
+        _fail("two identical seeded watch runs diverged")
+
+
+def _check_tiling_and_conservation() -> None:
+    doc = _doc(_BASE + ["--rate", "60", "--window-ms", "250", "--json"])
+    (cell,) = doc["cells"]
+    series = cell["timeseries"]
+    windows = series["windows"]
+    if not windows:
+        _fail("watch emitted no closed windows")
+    first = windows[0]["index"]
+    if series["dropped_windows"] == 0 and first != 0:
+        _fail(f"first window index {first} with nothing dropped")
+    for offset, frame in enumerate(windows):
+        if frame["index"] != first + offset:
+            _fail(f"window indices not contiguous at offset {offset}")
+    for left, right in zip(windows, windows[1:]):
+        if left["end_ms"] != right["start_ms"]:
+            _fail(
+                f"windows {left['index']}/{right['index']} do not tile: "
+                f"{left['end_ms']} != {right['start_ms']}"
+            )
+    totals = series["totals"]
+    for name, total in totals.items():
+        retained = sum(
+            f["counters"].get(name, {}).get("delta", 0) for f in windows
+        )
+        evicted = series["evicted"].get(name, 0)
+        if retained + evicted != total:
+            _fail(
+                f"{name}: retained {retained} + evicted {evicted} "
+                f"!= total {total}"
+            )
+    if totals.get("serve_served", 0) < 1:
+        _fail("watch cell served nothing at a modest load")
+
+
+def _check_alerts_fire_and_audit_counts() -> None:
+    # cold boots at 90 req/s against a 5 ms p99 SLO must blow the budget
+    doc = _doc(
+        _BASE
+        + ["--strategy", "cold-boot", "--rate", "90",
+           "--slo-p99-ms", "5", "--json", "--audit"]
+    )
+    (cell,) = doc["cells"]
+    transitions = cell["alerts"]["transitions"]
+    if not any(
+        t["rule"] == "p99-above-slo" and t["to"] == "firing"
+        for t in transitions
+    ):
+        _fail("5ms SLO at 90 req/s cold never fired p99-above-slo")
+    audit = doc["audit"]["strategies"]["cold-boot"]
+    if audit["boots"] < 1:
+        _fail("auditor saw no provisioned instances")
+    if audit["distinct_layouts"] < 1:
+        _fail("auditor reports zero distinct layouts for a live cell")
+
+
+def _check_table_mode() -> None:
+    code, text = _run(_BASE + ["--rate", "40", "--audit"])
+    if code != 0:
+        _fail(f"table-mode watch exited {code}")
+    if "p99 ms" not in text:
+        _fail("table mode did not render the window table")
+    if "audit " not in text:
+        _fail("table mode with --audit did not print the audit summary")
+
+
+def main() -> int:
+    _check_determinism()
+    _check_tiling_and_conservation()
+    _check_alerts_fire_and_audit_counts()
+    _check_table_mode()
+    print(
+        "watch-smoke: OK (byte-identical reruns, window tiling, "
+        "counter conservation, SLO alert firing, audit coverage)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,150 @@
+"""Unit tests for window-close alert evaluation.
+
+Pins the state machine (ok -> pending -> firing -> ok), the two rule
+shapes (threshold with a hold, multi-window burn rate), and the side
+effects a transition must produce: a transition record, a
+``repro_alerts_total{rule,state}`` increment, and a ``KIND_ALERT`` event
+in the boot event log.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import (
+    AlertManager,
+    AlertRule,
+    BurnRateRule,
+    KIND_ALERT,
+    Telemetry,
+    TimeSeriesRecorder,
+)
+
+MS = 1_000_000  # ns
+WINDOW = 10 * MS
+
+
+def _recorder_with(manager: AlertManager) -> TimeSeriesRecorder:
+    rec = TimeSeriesRecorder(window_ns=WINDOW)
+    manager.attach(rec)
+    return rec
+
+
+def test_threshold_fires_then_resolves():
+    manager = AlertManager([AlertRule("slow", "lat_ms", "p99", ">", 50.0)])
+    rec = _recorder_with(manager)
+    rec.observe(1 * MS, "lat_ms", 10.0)
+    rec.advance(WINDOW)
+    assert manager.state("slow") == "ok"
+    rec.observe(11 * MS, "lat_ms", 99.0)
+    rec.advance(2 * WINDOW)
+    assert manager.state("slow") == "firing"
+    rec.observe(21 * MS, "lat_ms", 10.0)
+    rec.advance(3 * WINDOW)
+    assert manager.state("slow") == "ok"
+    assert [(t["from"], t["to"]) for t in manager.transitions] == [
+        ("ok", "firing"),
+        ("firing", "ok"),
+    ]
+
+
+def test_hold_surfaces_pending_before_firing():
+    manager = AlertManager(
+        [AlertRule("slow", "lat_ms", "p99", ">", 50.0, for_windows=2)]
+    )
+    rec = _recorder_with(manager)
+    rec.observe(1 * MS, "lat_ms", 99.0)
+    rec.advance(WINDOW)
+    assert manager.state("slow") == "pending"
+    rec.observe(11 * MS, "lat_ms", 99.0)
+    rec.advance(2 * WINDOW)
+    assert manager.state("slow") == "firing"
+
+
+def test_absent_series_is_healthy():
+    manager = AlertManager([AlertRule("slow", "lat_ms", "p99", ">", 50.0)])
+    rec = _recorder_with(manager)
+    rec.count(1 * MS, "other")
+    rec.advance(WINDOW)
+    assert manager.state("slow") == "ok"
+    assert manager.transitions == []
+
+
+def test_burn_rate_needs_both_windows():
+    rule = BurnRateRule(
+        "burn", "bad", "total", budget=0.1, long_windows=2, short_windows=1
+    )
+    manager = AlertManager([rule])
+    rec = _recorder_with(manager)
+    # window 0: 50% bad — burn 5x over budget in both trailing windows
+    rec.count(1 * MS, "bad", 5)
+    rec.count(1 * MS, "total", 10)
+    rec.advance(WINDOW)
+    assert manager.state("burn") == "firing"
+    # window 1: clean — short-window burn drops to 0, resolves fast even
+    # though the long window still averages over budget
+    rec.count(11 * MS, "total", 10)
+    rec.advance(2 * WINDOW)
+    assert manager.state("burn") == "ok"
+
+
+def test_burn_rate_quiet_on_zero_traffic():
+    rule = BurnRateRule("burn", "bad", "total", budget=0.1)
+    manager = AlertManager([rule])
+    rec = _recorder_with(manager)
+    rec.count(1 * MS, "other")
+    rec.advance(WINDOW)
+    assert manager.state("burn") == "ok"
+
+
+def test_transitions_emit_events_and_counters():
+    telemetry = Telemetry()
+    manager = AlertManager(
+        [AlertRule("slow", "lat_ms", "p99", ">", 50.0)],
+        telemetry=telemetry,
+        track="alerts:test",
+    )
+    rec = _recorder_with(manager)
+    rec.observe(1 * MS, "lat_ms", 99.0)
+    rec.advance(WINDOW)
+    events = [e for e in telemetry.log.events() if e.kind == KIND_ALERT]
+    assert len(events) == 1
+    assert events[0].boot_id == "alerts:test"
+    assert events[0].name == "slow"
+    assert "ok->firing" in events[0].detail
+    (family,) = [
+        f for f in telemetry.registry.collect() if f.name == "repro_alerts_total"
+    ]
+    (point,) = family.points
+    assert dict(point.labels) == {"rule": "slow", "state": "firing"}
+    assert point.value == 1
+
+
+def test_duplicate_rule_names_rejected():
+    with pytest.raises(ValueError):
+        AlertManager(
+            [
+                AlertRule("dup", "a", "delta", ">", 1.0),
+                AlertRule("dup", "b", "delta", ">", 1.0),
+            ]
+        )
+
+
+def test_json_export_shape():
+    manager = AlertManager(
+        [
+            AlertRule("slow", "lat_ms", "p99", ">", 50.0),
+            BurnRateRule("burn", "bad", "total", budget=0.25),
+        ]
+    )
+    rec = _recorder_with(manager)
+    rec.observe(1 * MS, "lat_ms", 99.0)
+    rec.advance(WINDOW)
+    doc = manager.to_json_dict()
+    assert doc["schema_version"] == 1
+    assert [r["kind"] for r in doc["rules"]] == ["threshold", "burn_rate"]
+    assert doc["states"] == {"slow": "firing", "burn": "ok"}
+    (transition,) = doc["transitions"]
+    assert transition["rule"] == "slow"
+    assert transition["at_ms"] == 10.0
+    assert transition["value"] == 99.0

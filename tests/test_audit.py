@@ -1,0 +1,110 @@
+"""Unit tests for the live KASLR entropy auditor.
+
+The auditor is the observability half of the paper's restore trade-off:
+clones share a layout digest, so restore fleets collapse to one distinct
+layout while cold-boot fleets stay fully diverse.  These tests pin the
+digest semantics, the per-strategy metrics, the address-validity
+lifetime accounting, and the byte stability of the JSON report.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.layout_result import LayoutResult
+from repro.security import KaslrAuditor, layout_digest
+from repro.telemetry import Telemetry
+
+MS = 1_000_000  # ns
+
+
+def _layout(voffset: int, moved=()) -> LayoutResult:
+    return LayoutResult(voffset=voffset, moved=list(moved)).finalize()
+
+
+def test_digest_covers_voffset_and_move_map():
+    base = _layout(0x1000)
+    assert layout_digest(base) == layout_digest(_layout(0x1000))
+    assert layout_digest(base) != layout_digest(_layout(0x2000))
+    shuffled = _layout(0x1000, moved=[(0x100, 0x40, 0x20)])
+    assert layout_digest(base) != layout_digest(shuffled)
+    # a restore clone resolves every address identically -> same digest
+    assert layout_digest(shuffled) == layout_digest(shuffled.clone())
+
+
+def test_distinct_fraction_separates_cold_from_restore():
+    auditor = KaslrAuditor()
+    for i in range(8):
+        auditor.record(f"cold:{i}", strategy="cold-boot", t_ns=i, layout=_layout(0x1000 * (i + 1)))
+    zygote = _layout(0xABC000)
+    for i in range(8):
+        auditor.record(f"restore:{i}", strategy="restore", t_ns=i, layout=zygote.clone())
+    assert auditor.distinct_fraction("cold-boot") == 1.0
+    assert auditor.distinct_fraction("restore") == 1 / 8
+    doc = auditor.to_json_dict()
+    assert doc["strategies"]["cold-boot"]["duplicates"] == 0
+    assert doc["strategies"]["restore"]["duplicates"] == 7
+    assert doc["strategies"]["cold-boot"]["entropy_bits"] == 3.0
+    assert doc["strategies"]["restore"]["entropy_bits"] == 0.0
+
+
+def test_record_needs_layout_or_digest():
+    auditor = KaslrAuditor()
+    with pytest.raises(ValueError):
+        auditor.record("boot", strategy="cold-boot", t_ns=0)
+    digest = auditor.record(
+        "boot", strategy="cold-boot", t_ns=0, digest="feedface00000000"
+    )
+    assert digest == "feedface00000000"
+
+
+def test_touch_extends_address_validity_lifetime():
+    auditor = KaslrAuditor()
+    digest = auditor.record(
+        "a", strategy="restore", t_ns=0, layout=_layout(0x1000)
+    )
+    auditor.record("b", strategy="restore", t_ns=5 * MS, digest=digest)
+    auditor.touch("restore", digest, 20 * MS)
+    auditor.touch("restore", digest, 12 * MS)  # never shrinks
+    lifetime = auditor.to_json_dict()["strategies"]["restore"]["lifetime_ms"]
+    assert lifetime == {"mean": 20.0, "max": 20.0}
+    # unknown digests and strategies are ignored, not errors
+    auditor.touch("restore", "0" * 16, 99 * MS)
+    auditor.touch("nope", digest, 99 * MS)
+
+
+def test_metrics_exported_through_telemetry():
+    telemetry = Telemetry()
+    auditor = KaslrAuditor(telemetry=telemetry)
+    shared = _layout(0x1000)
+    auditor.record("a", strategy="restore", t_ns=0, layout=shared)
+    auditor.record("b", strategy="restore", t_ns=1, layout=shared.clone())
+    families = {f.name: f for f in telemetry.registry.collect()}
+    (boots,) = families["repro_audit_boots_total"].points
+    assert boots.value == 2
+    (dupes,) = families["repro_audit_duplicate_layouts_total"].points
+    assert dupes.value == 1
+    (fraction,) = families["repro_audit_distinct_layout_fraction"].points
+    assert fraction.value == 0.5
+    (entropy,) = families["repro_audit_entropy_bits"].points
+    assert entropy.value == 0.0
+
+
+def test_json_report_is_byte_stable():
+    def run() -> str:
+        auditor = KaslrAuditor()
+        for i in range(4):
+            auditor.record(
+                f"boot:{i}",
+                strategy="cold-boot",
+                t_ns=i * MS,
+                layout=_layout(0x1000 * (1 + i % 2)),
+            )
+        return json.dumps(auditor.to_json_dict(), sort_keys=True, indent=2)
+
+    assert run() == run()
+    doc = json.loads(run())
+    assert doc["schema_version"] == 1
+    assert doc["strategies"]["cold-boot"]["distinct_layouts"] == 2

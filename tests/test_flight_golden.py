@@ -1,0 +1,98 @@
+"""Golden test: the seeded flight-recorder outputs are byte-stable.
+
+The windowed time-series document and the KASLR audit report are parsed
+by dashboards and the benchmark gate, so their serialization is a
+contract: for a fixed seed at ``--jitter 0`` the CLI must write
+*exactly* the committed bytes.  The committed run deliberately includes
+a firing-then-resolved alert transition (cold-boot at 90 req/s blows a
+50 ms p99 SLO while the pool fills, then recovers), pinning the alert
+state machine end to end.  Any intentional schema or simulation change
+must regenerate both files (and say so in review):
+
+    PYTHONPATH=src python -m repro serve --kernel aws --scale 64 \
+        --jitter 0 --seed 11 --duration 4 --samples 6 --rate 90 \
+        --arrivals poisson --strategy all --slo-p99-ms 50 --json \
+        --timeseries-out tests/golden/serve_timeseries.json \
+        --audit --audit-out tests/golden/serve_audit.json > /dev/null
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+from pathlib import Path
+
+from repro.cli import main as cli_main
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_TIMESERIES = GOLDEN_DIR / "serve_timeseries.json"
+GOLDEN_AUDIT = GOLDEN_DIR / "serve_audit.json"
+
+ARGV = [
+    "serve", "--kernel", "aws", "--scale", "64", "--jitter", "0",
+    "--seed", "11", "--duration", "4", "--samples", "6", "--rate", "90",
+    "--arrivals", "poisson", "--strategy", "all", "--slo-p99-ms", "50",
+    "--json",
+]
+
+
+def _run(tmp_path: Path) -> tuple[str, str, str]:
+    ts_path = tmp_path / "timeseries.json"
+    audit_path = tmp_path / "audit.json"
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        code = cli_main(
+            ARGV
+            + ["--timeseries-out", str(ts_path), "--audit", "--audit-out",
+               str(audit_path)]
+        )
+    assert code == 0
+    return ts_path.read_text(), audit_path.read_text(), out.getvalue()
+
+
+def test_flight_outputs_match_golden_bytes(tmp_path):
+    timeseries, audit, _slo = _run(tmp_path)
+    assert timeseries == GOLDEN_TIMESERIES.read_text()
+    assert audit == GOLDEN_AUDIT.read_text()
+
+
+def test_flight_flags_leave_the_slo_report_unchanged(tmp_path):
+    """Recorder + auditor must not perturb the simulation itself."""
+    _ts, _audit, slo = _run(tmp_path)
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        assert cli_main(list(ARGV)) == 0
+    assert slo == out.getvalue()
+
+
+def test_golden_contains_firing_then_resolved_alert():
+    doc = json.loads(GOLDEN_TIMESERIES.read_text())
+    assert doc["schema_version"] == 1
+    cold = next(c for c in doc["cells"] if c["strategy"] == "cold-boot")
+    pairs = [(t["rule"], t["from"], t["to"]) for t in cold["alerts"]["transitions"]]
+    assert ("p99-above-slo", "ok", "firing") in pairs
+    assert ("p99-above-slo", "firing", "ok") in pairs
+    # the quiet strategies stayed quiet
+    for cell in doc["cells"]:
+        if cell["strategy"] != "cold-boot":
+            assert cell["alerts"]["transitions"] == []
+
+
+def test_golden_audit_shows_restore_collapse():
+    """The paper's trade-off, visible in the committed audit bytes."""
+    doc = json.loads(GOLDEN_AUDIT.read_text())
+    strategies = doc["strategies"]
+    assert strategies["restore"]["distinct_layouts"] == 1
+    assert strategies["restore"]["entropy_bits"] == 0.0
+    assert strategies["cold-boot"]["distinct_layouts"] > 1
+    assert (
+        strategies["cold-boot"]["entropy_bits"]
+        > strategies["restore"]["entropy_bits"]
+    )
+
+
+def test_goldens_are_canonical_json():
+    for path in (GOLDEN_TIMESERIES, GOLDEN_AUDIT):
+        text = path.read_text()
+        assert text == json.dumps(json.loads(text), sort_keys=True, indent=2) + "\n"

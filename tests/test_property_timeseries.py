@@ -1,0 +1,95 @@
+"""Property tests for the flight recorder (hypothesis).
+
+The two laws every consumer of the windowed series leans on:
+
+1. **Conservation** — for any sample stream (any timestamps, amounts,
+   window width, ring capacity), the retained per-window counter deltas
+   plus the evicted totals sum *exactly* to the cumulative total.  No
+   event is lost to window boundaries, gaps, late clamping, or ring
+   eviction.
+2. **Tiling** — closed frames cover simulated time with no gaps and no
+   overlaps: indices are contiguous from window 0 and each frame's
+   ``end_ns`` equals its successor's ``start_ns``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry import TimeSeriesRecorder
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+events = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=10_000_000),  # t_ns
+        st.sampled_from(("a", "b", "c")),
+        st.integers(min_value=1, max_value=9),
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+@SETTINGS
+@given(
+    events=events,
+    window_ns=st.integers(min_value=1, max_value=500_000),
+    capacity=st.integers(min_value=1, max_value=16),
+    advances=st.lists(
+        st.integers(min_value=0, max_value=12_000_000), max_size=8
+    ),
+)
+def test_counter_deltas_conserve_the_total(events, window_ns, capacity, advances):
+    rec = TimeSeriesRecorder(window_ns=window_ns, capacity=capacity)
+    cursor = 0
+    feed = list(events)
+    # interleave advances with the sample feed (out-of-order advances
+    # exercise the late-sample clamp path)
+    for i, (t_ns, name, amount) in enumerate(feed):
+        rec.count(t_ns, name, amount)
+        if advances and i % 3 == 2:
+            rec.advance(advances[cursor % len(advances)])
+            cursor += 1
+    rec.close(max(t for t, _, _ in feed))
+
+    expected: dict[str, int] = {}
+    for _, name, amount in feed:
+        expected[name] = expected.get(name, 0) + amount
+    assert rec.totals() == expected
+
+    windowed: dict[str, int] = dict(rec.evicted_totals())
+    for frame in rec.windows():
+        for name, entry in frame.counters.items():
+            windowed[name] = windowed.get(name, 0) + entry["delta"]
+    assert windowed == expected
+
+
+@SETTINGS
+@given(
+    events=events,
+    window_ns=st.integers(min_value=1, max_value=500_000),
+    capacity=st.integers(min_value=4, max_value=64),
+)
+def test_windows_tile_simulated_time(events, window_ns, capacity):
+    rec = TimeSeriesRecorder(window_ns=window_ns, capacity=capacity)
+    for t_ns, name, amount in events:
+        rec.count(t_ns, name, amount)
+    horizon = max(t for t, _, _ in events)
+    rec.close(horizon)
+
+    frames = rec.windows()
+    assert frames, "closing at the horizon must close at least one window"
+    # contiguous indices; frame i spans exactly [i*w, (i+1)*w)
+    first_index = frames[0].index
+    if rec.dropped_windows == 0:
+        assert first_index == 0
+    for offset, frame in enumerate(frames):
+        assert frame.index == first_index + offset
+        assert frame.start_ns == frame.index * window_ns
+        assert frame.end_ns == frame.start_ns + window_ns
+    for left, right in zip(frames, frames[1:]):
+        assert left.end_ns == right.start_ns  # no gap, no overlap
+    # the closed span covers the horizon sample
+    assert frames[-1].end_ns > horizon

@@ -1,0 +1,197 @@
+"""Flight-recorder wiring: engine, fleet, scopes, and the serve track.
+
+Covers the plumbing between the telemetry primitives (tested in
+``test_timeseries`` / ``test_alerts`` / ``test_audit``) and the layers
+that feed them:
+
+* the serve engine feeds windowed counters whose totals reconcile with
+  the ``ServeResult``, audits every provisioned instance, and emits
+  lifecycle spans onto a dedicated Chrome-trace track (tid 1000+);
+* a recorder-less engine run is bit-for-bit the same result (the
+  disabled-path contract);
+* ``Telemetry.scoped`` isolates counters between strategies sharing one
+  registry, while the event log stays shared;
+* the fleet manager audits every boot, and a boot-local recorder with
+  ``include_stage_spans`` sees pipeline stages.
+"""
+
+from __future__ import annotations
+
+from repro.core import RandomizeMode
+from repro.monitor import Firecracker, FleetManager, VmConfig
+from repro.host import HostStorage
+from repro.security import KaslrAuditor
+from repro.serve import (
+    ArrivalSpec,
+    AutoscalePolicy,
+    ProductionSample,
+    SampledBackend,
+    ServeConfig,
+    ServeEngine,
+)
+from repro.simtime import CostModel
+from repro.telemetry import Telemetry, TimeSeriesRecorder
+from repro.telemetry.export import SERVE_TID_BASE, to_chrome_trace
+
+MS = 1_000_000  # ns
+
+
+def _backend(n: int = 4, digests: bool = True) -> SampledBackend:
+    return SampledBackend(
+        samples=tuple(
+            ProductionSample(
+                startup_ns=2 * MS,
+                invoke_ns=1 * MS,
+                layout_offset=0x1000 * (i + 1),
+                layout_digest=f"digest{i:010x}" if digests else "",
+            )
+            for i in range(n)
+        )
+    )
+
+
+def _spec(rate: float = 50.0, seconds: float = 2.0) -> ArrivalSpec:
+    return ArrivalSpec(rate_per_s=rate, duration_s=seconds, seed=3)
+
+
+def test_engine_feeds_recorder_and_totals_reconcile():
+    recorder = TimeSeriesRecorder(window_ns=250 * MS)
+    engine = ServeEngine(_backend(), ServeConfig(), recorder=recorder)
+    result = engine.run(_spec())
+    totals = recorder.totals()
+    assert totals["serve_arrivals"] == result.arrivals
+    assert totals["serve_served"] == result.served
+    assert totals.get("serve_cold_starts", 0) == result.cold_starts
+    frames = recorder.windows()
+    assert frames[0].index == 0
+    for left, right in zip(frames, frames[1:]):
+        assert left.end_ns == right.start_ns
+    # latency distribution sampled once per serve
+    observed = sum(
+        f.distributions.get("serve_latency_ms", {}).get("count", 0)
+        for f in frames
+    )
+    assert observed == result.served
+
+
+def test_recorder_does_not_change_the_result():
+    plain = ServeEngine(_backend(), ServeConfig()).run(_spec())
+    recorded = ServeEngine(
+        _backend(),
+        ServeConfig(),
+        recorder=TimeSeriesRecorder(window_ns=100 * MS),
+        auditor=KaslrAuditor(),
+        telemetry=Telemetry(),
+        track="serve:test",
+    ).run(_spec())
+    assert recorded == plain
+
+
+def test_engine_audits_instances_with_sampled_digests():
+    auditor = KaslrAuditor()
+    engine = ServeEngine(
+        _backend(n=3),
+        ServeConfig(),
+        labels={"strategy": "restore"},
+        auditor=auditor,
+    )
+    result = engine.run(_spec())
+    doc = auditor.to_json_dict()["strategies"]["restore"]
+    assert doc["boots"] == result.pool.provisioned
+    # the cyclic sample table caps diversity at the table size
+    assert doc["distinct_layouts"] == 3
+    # served instances were touched after provisioning -> lifetimes grow
+    assert doc["lifetime_ms"]["max"] > 0
+
+
+def test_engine_audit_falls_back_to_offset_digests():
+    auditor = KaslrAuditor()
+    ServeEngine(
+        _backend(n=2, digests=False),
+        ServeConfig(),
+        labels={"strategy": "cold-boot"},
+        auditor=auditor,
+    ).run(_spec())
+    doc = auditor.to_json_dict()["strategies"]["cold-boot"]
+    assert doc["distinct_layouts"] == 2  # off:0x1000 / off:0x2000
+
+
+def test_serve_spans_land_on_dedicated_trace_track():
+    telemetry = Telemetry()
+    engine = ServeEngine(
+        _backend(),
+        ServeConfig(policy=AutoscalePolicy(min_ready=1, idle_ns=100 * MS)),
+        telemetry=telemetry,
+        track="serve:restore@50",
+    )
+    engine.run(_spec())
+    trace = to_chrome_trace(telemetry.snapshot())
+    serve_events = [
+        e for e in trace["traceEvents"] if e.get("cat") == "serve"
+    ]
+    assert serve_events, "lifecycle spans missing from the trace"
+    assert {e["tid"] for e in serve_events} == {SERVE_TID_BASE}
+    names = {e["name"] for e in serve_events}
+    assert {"prewarm", "provision", "lease", "evict"} <= names
+    metas = [
+        e
+        for e in trace["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    ]
+    assert any(e["args"]["name"] == "serve:restore@50" for e in metas)
+
+
+def test_no_track_means_no_serve_events():
+    telemetry = Telemetry()
+    ServeEngine(_backend(), ServeConfig(), telemetry=telemetry).run(_spec())
+    trace = to_chrome_trace(telemetry.snapshot())
+    assert not [e for e in trace["traceEvents"] if e.get("cat") == "serve"]
+
+
+def test_scoped_registries_do_not_bleed():
+    telemetry = Telemetry()
+    for strategy in ("cold-boot", "restore"):
+        scope = telemetry.scoped(strategy=strategy)
+        scope.registry.counter("repro_test_total", help="t").inc()
+        scope.log.record(
+            boot_id=f"{strategy}:0",
+            kind="stage",
+            name="noop",
+            category="stage",
+            principal="test",
+            start_ns=0,
+            duration_ns=1,
+        )
+    (family,) = [
+        f for f in telemetry.registry.collect() if f.name == "repro_test_total"
+    ]
+    assert len(family.points) == 2  # one point per strategy label
+    for point in family.points:
+        assert point.value == 1
+    # the log is shared: one snapshot still sees the whole run
+    assert len(telemetry.log.events()) == 2
+
+
+def test_fleet_launch_feeds_auditor(tiny_fgkaslr):
+    auditor = KaslrAuditor()
+    vmm = Firecracker(HostStorage(), CostModel(scale=1))
+    manager = FleetManager(vmm, workers=4, auditor=auditor)
+    report = manager.launch(
+        VmConfig(kernel=tiny_fgkaslr, randomize=RandomizeMode.FGKASLR),
+        8,
+        fleet_seed=7,
+    )
+    doc = auditor.to_json_dict()["strategies"]["fgkaslr"]
+    assert doc["boots"] == len(report.boots) == 8
+    assert doc["distinct_layouts"] == report.unique_layouts
+
+
+def test_boot_recorder_sees_stage_spans(tiny_fgkaslr):
+    recorder = TimeSeriesRecorder(window_ns=10 * MS, include_stage_spans=True)
+    telemetry = Telemetry(timeseries=recorder)
+    vmm = Firecracker(HostStorage(), CostModel(scale=1), telemetry=telemetry)
+    cfg = VmConfig(kernel=tiny_fgkaslr, randomize=RandomizeMode.FGKASLR)
+    report = vmm.boot(cfg)
+    recorder.close(int(report.timeline.total_ns))
+    totals = recorder.totals()
+    assert totals["stage_runs"] > 0
