@@ -3,7 +3,8 @@
 PYTHON ?= python3
 
 .PHONY: install test metrics-smoke faults-smoke serve-smoke watch-smoke \
-	bench bench-paper bench-gate bench-clean fleet-bench examples clean
+	trace-smoke bench bench-paper bench-gate bench-clean fleet-bench \
+	examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -30,6 +31,11 @@ serve-smoke:
 # counter conservation, SLO alert firing, entropy-audit coverage
 watch-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.tools.watch_smoke
+
+# request tracing through the CLI: deterministic ids, exact critical-path
+# conservation, alert-exemplar-to-span-tree linkage
+trace-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.tools.trace_smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

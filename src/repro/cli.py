@@ -6,6 +6,7 @@ Subcommands::
     python -m repro fleet   --kernel aws --count 64 --workers 8   # Section 6
     python -m repro serve   --arrivals poisson --rate 40 --json   # SLO report
     python -m repro watch   --strategy restore --audit            # flight rec.
+    python -m repro trace   --rate 90 --trace-id <id>             # span trees
     python -m repro metrics --kernel aws --vms 4                  # Prometheus
 
 ``boot`` and ``fleet`` accept ``--json`` (machine-readable report) and
@@ -38,6 +39,16 @@ address-validity lifetimes per strategy, to ``--audit-out``).  ``serve``
 and ``watch`` evaluate alert rules at every window close
 (``--slo-p99-ms``, ``--cold-budget``, ``--alert-for``).
 
+Request-scoped tracing rides on top: ``serve --trace-requests`` attaches
+per-cell p99 tail attribution (critical-path segments, slowest-request
+exemplars) to the SLO report; flight-recorder histograms and firing
+alerts carry exemplar trace ids; and ``repro trace`` replays the same
+seeded flight to resolve any such id into its causal span tree
+(``--trace-id``), list the slowest requests per cell (``--top``), or
+emit the whole trace document (``--json``).  Telemetry-exporting
+subcommands also accept ``--events-out PATH`` (the shared stage-event
+log, streamed as JSONL).
+
 All times are simulated milliseconds at paper scale (see DESIGN.md §7).
 """
 
@@ -64,8 +75,12 @@ from repro.telemetry import (
     AlertManager,
     AlertRule,
     BurnRateRule,
+    RequestTracer,
     Telemetry,
     TimeSeriesRecorder,
+    request_paths,
+    slowest,
+    tail_attribution,
     to_chrome_trace,
     to_json_dump,
     to_prometheus,
@@ -167,7 +182,8 @@ def _render_export(telemetry: Telemetry, fmt: str) -> str:
 
 
 def _emit_telemetry(args, telemetry: Telemetry) -> None:
-    """Honor ``--metrics`` and ``--trace-export``/``--trace-out``."""
+    """Honor ``--metrics``, ``--trace-export``/``--trace-out``, and
+    ``--events-out`` (streamed JSONL — never materialized in memory)."""
     if getattr(args, "metrics", False):
         sys.stdout.write(to_prometheus(telemetry.snapshot()))
     fmt = getattr(args, "trace_export", None)
@@ -178,6 +194,13 @@ def _emit_telemetry(args, telemetry: Telemetry) -> None:
         else:
             with open(args.trace_out, "w", encoding="utf-8") as fh:
                 fh.write(content)
+    events_out = getattr(args, "events_out", None)
+    if events_out:
+        if events_out == "-":
+            telemetry.log.write_jsonl(sys.stdout)
+        else:
+            with open(events_out, "w", encoding="utf-8") as fh:
+                telemetry.log.write_jsonl(fh)
 
 
 def _build_cfg(args) -> VmConfig:
@@ -529,8 +552,16 @@ def _cmd_serve(args) -> int:
         queue_cap=args.queue_cap,
         deadline_ns=int(round(args.deadline_ms * 1e6)),
     )
-    telemetry = Telemetry()
     want_recorder = getattr(args, "timeseries_out", None) is not None
+    # the tracer rides along whenever a flight recorder runs (so firing
+    # alerts carry exemplar trace ids) or --trace-requests asked for the
+    # SLO tail section; plain runs stay tracer-free and byte-identical
+    tracer = (
+        RequestTracer(args.seed)
+        if want_recorder or args.trace_requests
+        else None
+    )
+    telemetry = Telemetry(tracer=tracer)
     flight = want_recorder or args.audit
     auditor = KaslrAuditor(telemetry=telemetry) if args.audit else None
     window_ns = int(round(args.window_ms * 1e6))
@@ -555,7 +586,13 @@ def _cmd_serve(args) -> int:
             strategy=strategy,
         )
         backend = SampledBackend.from_platform(
-            platform, spec, n_samples=args.samples, seed=args.seed
+            platform,
+            spec,
+            n_samples=args.samples,
+            seed=args.seed,
+            tracer=(
+                tracer.scoped(strategy.value) if tracer is not None else None
+            ),
         )
         for rate in rates:
             cell = f"{strategy.value}@{rate:g}"
@@ -575,6 +612,7 @@ def _cmd_serve(args) -> int:
                 recorder=recorder,
                 auditor=auditor,
                 track=f"serve:{cell}" if flight else None,
+                tracer=tracer.scoped(cell) if tracer is not None else None,
             )
             result = engine.run(
                 ArrivalSpec(
@@ -584,6 +622,11 @@ def _cmd_serve(args) -> int:
                     seed=args.seed,
                 )
             )
+            tail = (
+                _cell_tail(tracer, cell)
+                if tracer is not None and args.trace_requests
+                else None
+            )
             rows.append(
                 StrategySlo.from_result(
                     result,
@@ -591,6 +634,7 @@ def _cmd_serve(args) -> int:
                     mix=args.arrivals,
                     rate_per_s=rate,
                     duration_s=args.duration,
+                    tail=tail,
                 )
             )
             if recorder is not None:
@@ -643,9 +687,64 @@ def _cmd_serve(args) -> int:
             f"({args.duration:g}s, pool {args.pool_min}..{args.pool_max})",
         )
     )
+    for r in report.rows:
+        if r.tail is not None:
+            print(f"  {r.strategy}@{r.rate_per_s:g}: {_format_tail(r.tail)}")
+            for s in r.tail["slowest"]:
+                print(
+                    f"    {s['trace_id']}  req {s['request']}  "
+                    f"{s['latency_ms']:.3f} ms  "
+                    f"{'cold' if s['cold'] else 'warm'}"
+                )
     _emit_telemetry(args, telemetry)
     _emit_serve_flight(args, cells, auditor)
     return 0
+
+
+#: exemplar trace ids pinned per tail-attribution section
+_TAIL_TOP_K = 3
+
+
+def _cell_tail(tracer: RequestTracer, cell: str, top: int = _TAIL_TOP_K) -> dict | None:
+    """One cell's tail attribution + slowest exemplars, JSON-shaped.
+
+    Conservation is enforced on the way through: ``request_paths``
+    re-checks every critical path (segments must sum *exactly* to the
+    request latency) before anything is aggregated.
+    """
+    paths = request_paths(
+        ctx
+        for ctx in tracer.traces()
+        if ctx.key.startswith(f"{cell}/req/")
+    )
+    att = tail_attribution(paths)
+    if att is None:
+        return None
+    return {
+        **att.to_json(),
+        "slowest": [
+            {
+                "trace_id": p.trace_id,
+                "request": p.request,
+                "latency_ms": round(p.latency_ns / 1e6, 4),
+                "cold": p.cold,
+            }
+            for p in slowest(paths, top)
+        ],
+    }
+
+
+def _format_tail(tail: dict) -> str:
+    """'p99 requests spend 72% in provision.X / 21% in queued / ...'."""
+    fractions = tail["fractions"]
+    parts = " / ".join(
+        f"{fractions[kind] * 100:.1f}% {kind}"
+        for kind in sorted(fractions, key=lambda k: (-fractions[k], k))
+    )
+    return (
+        f"p{tail['percentile']:g} tail ({tail['requests']} requests >= "
+        f"{tail['threshold_ms']:g} ms): {parts}"
+    )
 
 
 def _serve_alert_rules(args, slo_ms: float) -> tuple:
@@ -704,7 +803,8 @@ def _cmd_watch(args) -> int:
     spec = FUNCTIONS[args.function]
     strategy = InstanceStrategy(args.strategy)
     mode = RandomizeMode(args.mode)
-    telemetry = Telemetry()
+    tracer = RequestTracer(args.seed)
+    telemetry = Telemetry(tracer=tracer)
     scope = telemetry.scoped(strategy=strategy.value)
     vmm = _make_vmm(args, telemetry=scope)
     kernel = get_kernel(args.kernel, _MODE_VARIANT[mode], scale=args.scale)
@@ -716,7 +816,11 @@ def _cmd_watch(args) -> int:
         strategy=strategy,
     )
     backend = SampledBackend.from_platform(
-        platform, spec, n_samples=args.samples, seed=args.seed
+        platform,
+        spec,
+        n_samples=args.samples,
+        seed=args.seed,
+        tracer=tracer.scoped(strategy.value),
     )
     config = ServeConfig(
         policy=AutoscalePolicy(
@@ -750,6 +854,7 @@ def _cmd_watch(args) -> int:
         recorder=recorder,
         auditor=auditor,
         track=f"serve:{cell}",
+        tracer=tracer.scoped(cell),
     )
     engine.run(
         ArrivalSpec(
@@ -806,9 +911,14 @@ def _cmd_watch(args) -> int:
     if transitions:
         for t in transitions:
             value = "-" if t["value"] is None else f"{t['value']:g}"
+            traces = (
+                " traces=" + ",".join(t["exemplars"])
+                if t.get("exemplars")
+                else ""
+            )
             print(
                 f"  [{t['at_ms']:9.1f} ms] {t['rule']}: "
-                f"{t['from']} -> {t['to']} (value {value})"
+                f"{t['from']} -> {t['to']} (value {value}){traces}"
             )
     else:
         print("  no alert transitions")
@@ -825,6 +935,185 @@ def _cmd_watch(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    """Replay a seeded serve flight under the tracer; resolve span trees.
+
+    Trace ids are pure functions of ``(seed, key)``, so this command
+    resolves exemplar ids found in flight-recorder documents written by
+    a *separate* ``repro serve``/``repro watch`` invocation — rerun the
+    same flight shape here and ``--trace-id`` lands on the same tree.
+    """
+    from repro.serve import (
+        ArrivalSpec,
+        AutoscalePolicy,
+        SampledBackend,
+        ServeConfig,
+        ServeEngine,
+    )
+    from repro.workloads import FUNCTIONS, InstanceStrategy, ServerlessPlatform
+
+    strategies = (
+        list(InstanceStrategy)
+        if args.strategy == "all"
+        else [InstanceStrategy(args.strategy)]
+    )
+    rates = args.rate or [40.0]
+    if args.function not in FUNCTIONS:
+        print(
+            f"unknown function {args.function!r}; "
+            f"known: {', '.join(sorted(FUNCTIONS))}",
+            file=sys.stderr,
+        )
+        return 2
+    spec = FUNCTIONS[args.function]
+    mode = RandomizeMode(args.mode)
+    config = ServeConfig(
+        policy=AutoscalePolicy(
+            min_ready=args.pool_min,
+            max_ready=args.pool_max,
+            scale_up_depth=args.scale_up_depth,
+            idle_ns=int(round(args.idle_ms * 1e6)),
+        ),
+        provisioners=args.provisioners,
+        queue_cap=args.queue_cap,
+        deadline_ns=int(round(args.deadline_ms * 1e6)),
+    )
+    tracer = RequestTracer(args.seed)
+    telemetry = Telemetry(tracer=tracer)
+    cells = []
+    for strategy in strategies:
+        scope = telemetry.scoped(strategy=strategy.value)
+        vmm = _make_vmm(args, telemetry=scope)
+        kernel = get_kernel(args.kernel, _MODE_VARIANT[mode], scale=args.scale)
+        platform = ServerlessPlatform(
+            vmm,
+            lambda seed, k=kernel, m=mode: VmConfig(
+                kernel=k, randomize=m, seed=seed
+            ),
+            strategy=strategy,
+        )
+        backend = SampledBackend.from_platform(
+            platform,
+            spec,
+            n_samples=args.samples,
+            seed=args.seed,
+            tracer=tracer.scoped(strategy.value),
+        )
+        for rate in rates:
+            cell = f"{strategy.value}@{rate:g}"
+            engine = ServeEngine(
+                backend,
+                config,
+                telemetry=scope,
+                labels={"strategy": strategy.value, "mix": args.arrivals},
+                tracer=tracer.scoped(cell),
+            )
+            result = engine.run(
+                ArrivalSpec(
+                    rate_per_s=rate,
+                    duration_s=args.duration,
+                    mix=args.arrivals,
+                    seed=args.seed,
+                )
+            )
+            paths = request_paths(
+                ctx
+                for ctx in tracer.traces()
+                if ctx.key.startswith(f"{cell}/req/")
+            )
+            att = tail_attribution(paths)
+            top = slowest(paths, args.top)
+            cells.append(
+                {
+                    "strategy": strategy.value,
+                    "mix": args.arrivals,
+                    "rate_per_s": rate,
+                    "arrivals": result.arrivals,
+                    "served": result.served,
+                    "tail": att.to_json() if att is not None else None,
+                    "slowest": [p.to_json() for p in top],
+                    "traces": {
+                        p.trace_id: tracer.get(p.trace_id).to_json()
+                        for p in top
+                    },
+                }
+            )
+    if args.trace_id:
+        ctx = tracer.get(args.trace_id)
+        if ctx is None:
+            print(
+                f"trace {args.trace_id} not found in this flight "
+                f"(seed {args.seed}, {len(tracer.traces())} traces minted); "
+                "rerun with the serve flags the exemplar came from",
+                file=sys.stderr,
+            )
+            return 1
+        if args.json:
+            sys.stdout.write(
+                _dump_json({"trace_id": ctx.trace_id, **ctx.to_json()})
+            )
+        else:
+            _print_trace_tree(ctx)
+        return 0
+    if args.json:
+        doc = {
+            "schema_version": 1,
+            "seed": args.seed,
+            "function": args.function,
+            "mix": args.arrivals,
+            "duration_s": args.duration,
+            "samples_per_strategy": args.samples,
+            "cells": cells,
+        }
+        sys.stdout.write(_dump_json(doc))
+        return 0
+    for info in cells:
+        label = f"{info['strategy']}@{info['rate_per_s']:g}"
+        if info["tail"] is None:
+            print(f"{label}: nothing served")
+            continue
+        print(f"{label}: {_format_tail(info['tail'])}")
+        for p in info["slowest"]:
+            segs = " ".join(
+                f"{kind}={ns / 1e6:.3f}ms"
+                for kind, ns in sorted(
+                    p["segments"].items(), key=lambda kv: (-kv[1], kv[0])
+                )
+            )
+            print(
+                f"  {p['trace_id']}  req {p['request']}  "
+                f"{p['latency_ns'] / 1e6:.3f} ms  "
+                f"{'cold' if p['cold'] else 'warm'}  {segs}"
+            )
+    return 0
+
+
+def _print_trace_tree(ctx) -> None:
+    """Indented parent→child walk of one trace's span tree."""
+    spans = ctx.spans()
+    children: dict = {}
+    for s in spans:
+        children.setdefault(s.parent_id, []).append(s)
+
+    def walk(span, depth: int) -> None:
+        attrs = (
+            "  " + json.dumps(span.attrs, sort_keys=True, default=str)
+            if span.attrs
+            else ""
+        )
+        print(
+            f"  {'  ' * depth}{span.name} [{span.kind}] "
+            f"{span.start_ns / 1e6:.3f}..{span.end_ns / 1e6:.3f} ms "
+            f"(+{span.duration_ns / 1e6:.3f}){attrs}"
+        )
+        for child in children.get(span.span_id, []):
+            walk(child, depth + 1)
+
+    print(f"trace {ctx.trace_id}  key {ctx.key}  spans {len(spans)}")
+    for root in children.get(None, []):
+        walk(root, 0)
+
+
 def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--metrics", action="store_true",
                         help="print Prometheus metrics text after the report")
@@ -833,6 +1122,9 @@ def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
                         help="export the telemetry snapshot in this format")
     parser.add_argument("--trace-out", default="-", metavar="PATH",
                         help="trace export destination ('-' = stdout)")
+    parser.add_argument("--events-out", default=None, metavar="PATH",
+                        help="stream the shared telemetry event log as "
+                             "JSONL here ('-' = stdout)")
     parser.add_argument("--profile", choices=["folded", "json", "table"],
                         help="attribute every simulated ns and emit the "
                              "cost profile in this format")
@@ -1084,11 +1376,64 @@ def build_parser() -> argparse.ArgumentParser:
                        help="queued-request timeout")
     serve.add_argument("--json", action="store_true",
                        help="emit the SLO report as canonical JSON")
+    serve.add_argument("--trace-requests", action="store_true",
+                       help="trace every request's causal span tree and "
+                            "attach p99 tail attribution to the SLO report")
     _add_fault_flags(serve)
     _add_telemetry_flags(serve)
     _add_recorder_flags(serve, window_ms=1000.0)
     _add_alert_flags(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    trace = sub.add_parser(
+        "trace", parents=[common],
+        help="replay a seeded serve flight and resolve request span "
+             "trees, critical paths, and tail attribution",
+    )
+    trace.add_argument("--kernel", choices=sorted(PRESETS), default="aws")
+    trace.add_argument("--mode", choices=[m.value for m in RandomizeMode],
+                       default="kaslr")
+    trace.add_argument("--function", default="api-echo",
+                       help="workload function (see repro.workloads.FUNCTIONS)")
+    trace.add_argument("--arrivals",
+                       choices=["poisson", "bursty", "diurnal"],
+                       default="poisson", help="open-loop traffic shape")
+    trace.add_argument("--rate", type=float, action="append", metavar="PER_S",
+                       help="offered load in requests/s (repeatable; "
+                            "default 40)")
+    trace.add_argument("--duration", type=float, default=10.0,
+                       help="simulated seconds of traffic (default 10)")
+    trace.add_argument("--strategy",
+                       choices=["cold-boot", "restore", "restore-rebase",
+                                "all"],
+                       default="all", help="instance production strategy")
+    trace.add_argument("--seed", type=int, default=1,
+                       help="seed for traffic and production sampling")
+    trace.add_argument("--samples", type=int, default=8,
+                       help="real productions measured per strategy")
+    trace.add_argument("--pool-min", type=int, default=2,
+                       help="warm-pool floor (prewarmed instances)")
+    trace.add_argument("--pool-max", type=int, default=16,
+                       help="warm-pool ceiling (autoscale cap)")
+    trace.add_argument("--scale-up-depth", type=int, default=2,
+                       help="queue depth that triggers scale-up")
+    trace.add_argument("--idle-ms", type=float, default=2000.0,
+                       help="idle time before scale-down to the floor")
+    trace.add_argument("--provisioners", type=int, default=4,
+                       help="parallel instance-production slots")
+    trace.add_argument("--queue-cap", type=int, default=64,
+                       help="admission queue bound (beyond it: rejected)")
+    trace.add_argument("--deadline-ms", type=float, default=30000.0,
+                       help="queued-request timeout")
+    trace.add_argument("--trace-id", default=None, metavar="ID",
+                       help="resolve one trace id (e.g. an alert exemplar) "
+                            "and print its span tree")
+    trace.add_argument("--top", type=int, default=5,
+                       help="slowest requests shown per cell (default 5)")
+    trace.add_argument("--json", action="store_true",
+                       help="emit the trace document as canonical JSON")
+    _add_fault_flags(trace)
+    trace.set_defaults(func=_cmd_trace)
 
     watch = sub.add_parser(
         "watch", parents=[common],

@@ -262,6 +262,7 @@ class FleetManager:
         workers: int = 8,
         telemetry: Telemetry | None = None,
         auditor: "KaslrAuditor | None" = None,
+        tracer=None,
     ) -> None:
         if workers < 1:
             raise MonitorError(f"fleet needs at least one worker, got {workers}")
@@ -270,6 +271,10 @@ class FleetManager:
         self.telemetry = telemetry
         #: optional KASLR auditor; fed one layout fingerprint per boot
         self.auditor = auditor
+        #: optional :class:`~repro.telemetry.tracing.RequestTracer` scope;
+        #: each fleet index gets a ``boot/<index>`` trace carrying the
+        #: pipeline's stage spans (retries append to the same trace)
+        self.tracer = tracer
         if vmm.artifact_cache is None:
             vmm.artifact_cache = BootArtifactCache()
 
@@ -446,6 +451,11 @@ class FleetManager:
                             boot_cfg,
                             boot_index=index,
                             attempt=attempt,
+                            trace=(
+                                self.tracer.trace(f"boot/{index}")
+                                if self.tracer is not None
+                                else None
+                            ),
                         ),
                     )
                     for index, boot_cfg in pending

@@ -160,15 +160,19 @@ class Firecracker:
             )
 
     def boot(
-        self, cfg: VmConfig, *, boot_index: int = 0, attempt: int = 0
+        self, cfg: VmConfig, *, boot_index: int = 0, attempt: int = 0, trace=None
     ) -> BootReport:
         """Run one boot start-to-init; raises on any contract violation.
 
         ``boot_index``/``attempt`` identify the boot to an installed
         fault plan (fleet index targeting, retry redraws); both default
-        to 0 for standalone boots.
+        to 0 for standalone boots.  ``trace`` is an optional
+        :class:`~repro.telemetry.tracing.TraceContext` the pipeline
+        mirrors its stage spans onto.
         """
-        report, _vm = self.boot_vm(cfg, boot_index=boot_index, attempt=attempt)
+        report, _vm = self.boot_vm(
+            cfg, boot_index=boot_index, attempt=attempt, trace=trace
+        )
         return report
 
     def build_pipeline(self, cfg: VmConfig) -> BootPipeline:
@@ -176,7 +180,7 @@ class Firecracker:
         return build_boot_pipeline(cfg, direct_only=self.profile.direct_only)
 
     def boot_vm(
-        self, cfg: VmConfig, *, boot_index: int = 0, attempt: int = 0
+        self, cfg: VmConfig, *, boot_index: int = 0, attempt: int = 0, trace=None
     ) -> tuple[BootReport, "MicroVm"]:
         """Like :meth:`boot`, but also returns a live guest handle."""
         cfg.validate()
@@ -211,6 +215,7 @@ class Firecracker:
             fault_plan=self.fault_plan,
             boot_index=boot_index,
             attempt=attempt,
+            trace=trace,
         )
         try:
             self.build_pipeline(cfg).run(ctx)

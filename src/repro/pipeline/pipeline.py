@@ -97,6 +97,18 @@ class BootPipeline:
             ctx.clock.timeline.add_span(span)
             if ctx.telemetry is not None:
                 ctx.telemetry.stage_span(ctx.boot_id, span)
+            if ctx.trace is not None:
+                ctx.trace.span(
+                    result.stage,
+                    "stage",
+                    start_ns,
+                    ctx.clock.now_ns,
+                    attrs={
+                        "category": result.category,
+                        "principal": result.principal,
+                        "attempt": ctx.attempt,
+                    },
+                )
             ctx.results.append(result)
 
     @staticmethod

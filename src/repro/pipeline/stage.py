@@ -42,6 +42,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from repro.snapshot.checkpoint import Snapshot
     from repro.telemetry.events import TelemetrySink
     from repro.telemetry.profiler import CostProfiler
+    from repro.telemetry.tracing import TraceContext
     from repro.vm.memory import GuestMemory
     from repro.vm.pagetable import PageTableWalker
     from repro.vm.portio import PortIoBus
@@ -143,6 +144,10 @@ class StageContext:
     fault_plan: "FaultPlan | None" = None
     boot_index: int = 0
     attempt: int = 0
+    #: request-scoped tracing: when set, the pipeline mirrors each stage
+    #: onto this causal trace so fleet boots (and backend samples) carry
+    #: the same span trees the serve engine's requests do
+    trace: "TraceContext | None" = None
 
     # -- populated by stages ---------------------------------------------------
     memory: "GuestMemory | None" = None

@@ -52,6 +52,14 @@ class ProductionSample:
     #: time so the auditor never touches a pipeline on the hot path;
     #: empty for failed productions and hand-built test samples
     layout_digest: str = ""
+    #: the originating pipeline's per-stage charges ``(name, ns)``, in
+    #: stage order — the critical-path analyzer subdivides a cold
+    #: request's provision segment across these; empty when unmeasured
+    stage_ns: tuple[tuple[str, int], ...] = ()
+    #: trace id of the real production run this sample replays ("" when
+    #: sampling ran untraced), linking every replayed invocation back to
+    #: the stage spans of its originating pipeline
+    source: str = ""
 
 
 @dataclass(frozen=True)
@@ -90,6 +98,7 @@ class SampledBackend:
         *,
         n_samples: int,
         seed: int = 0,
+        tracer=None,
     ) -> "SampledBackend":
         """Measure ``n_samples`` real productions through the platform.
 
@@ -101,6 +110,13 @@ class SampledBackend:
         provisioner burns before giving up); with zero successes the
         charge falls back to a nominal millisecond and the backend is not
         :attr:`viable`.
+
+        With a ``tracer`` (a :class:`~repro.telemetry.tracing.RequestTracer`
+        scope), each measured production records a ``sample/<i>`` trace
+        whose spans mirror the real pipeline's stage timeline, and the
+        sample's :attr:`~ProductionSample.source` carries that trace id —
+        every replayed invocation stays linked to the stage spans of the
+        run it replays.
         """
         if n_samples < 1:
             raise MonitorError(f"need at least one sample, got {n_samples}")
@@ -115,6 +131,34 @@ class SampledBackend:
                 failures += 1
                 measured.append(None)  # calibrated after the loop
                 continue
+            spans = tuple(produced.vm.clock.timeline.spans)
+            source = ""
+            if tracer is not None:
+                ctx = tracer.trace(f"sample/{i}")
+                source = ctx.trace_id
+                root = ctx.open(
+                    "produce",
+                    "sample",
+                    spans[0].start_ns if spans else 0,
+                    attrs={"index": i, "degraded": produced.degraded},
+                )
+                for span in spans:
+                    ctx.span(
+                        span.name,
+                        "stage",
+                        span.start_ns,
+                        span.end_ns,
+                        parent=root.span_id,
+                        attrs={
+                            "category": span.category,
+                            "principal": span.principal,
+                            "charged_ns": span.charged_ns,
+                        },
+                    )
+                root.close(
+                    spans[-1].end_ns if spans else 0,
+                    startup_ms=produced.startup_ms,
+                )
             measured.append(
                 ProductionSample(
                     startup_ns=int(round(produced.startup_ms * 1e6)),
@@ -126,6 +170,10 @@ class SampledBackend:
                     layout_offset=produced.layout_offset,
                     degraded=produced.degraded,
                     layout_digest=layout_digest(produced.vm.layout),
+                    stage_ns=tuple(
+                        (span.name, span.charged_ns) for span in spans
+                    ),
+                    source=source,
                 )
             )
         ok = [s for s in measured if s is not None]

@@ -36,6 +36,7 @@ import enum
 import heapq
 from collections import deque
 from dataclasses import dataclass, field
+from functools import partial
 
 from repro.errors import MonitorError
 from repro.security.audit import KaslrAuditor
@@ -44,7 +45,8 @@ from repro.serve.backend import ProductionSample, SampledBackend
 from repro.serve.pool import AutoscalePolicy, PoolStats, WarmInstance, WarmPool
 from repro.simtime.fleetclock import FleetWallClock
 from repro.telemetry import Telemetry
-from repro.telemetry.timeseries import TimeSeriesRecorder
+from repro.telemetry.timeseries import TimeSeriesRecorder, WindowedEmitter
+from repro.telemetry.tracing import RequestTracer, TraceContext, derive_span_id
 
 __all__ = ["EventKind", "ServeConfig", "ServeEngine", "ServeResult"]
 
@@ -129,6 +131,28 @@ class ServeResult:
         return self
 
 
+# Compact trace records.  The engine's event loop is the hot path — it
+# must stay within a few percent of an untraced run (the gated
+# ``BENCH_trace_overhead`` series pins this), so instead of minting span
+# objects inline the loop appends plain lists holding ints and refs to
+# already-immutable objects, and a deferred builder
+# (:meth:`ServeEngine._build_traces`) replays them into real span trees
+# on the first tracer read.  A request that dispatches gets one served
+# record (layout below); rejected and deadline-failed requests get small
+# tuples; provisions get ``[instance_id, BootWindow, sample, span_id]``
+# (span_id filled by the builder) and prewarms ``[instance_id, sample,
+# span_id]``.
+R_INDEX = 0  # request index
+R_ARRIVAL = 1  # admission time (ns)
+R_DISPATCH = 2  # lease time (ns)
+R_DONE = 3  # completion time (ns); 0 while in flight
+R_INST = 4  # the leased WarmInstance
+R_SAMPLE = 5  # the ProductionSample replayed by the invocation
+R_PROV = 6  # provision/prewarm record that built the instance, or None
+R_PROV_ARRIVE = 7  # provision records triggered at admission (list|None)
+R_LEN = 8  # provisions triggered by our dispatch are appended past here
+
+
 class ServeEngine:
     """Runs one (traffic, backend, config) triple to a drained result."""
 
@@ -141,6 +165,7 @@ class ServeEngine:
         recorder: TimeSeriesRecorder | None = None,
         auditor: KaslrAuditor | None = None,
         track: str | None = None,
+        tracer: RequestTracer | None = None,
     ) -> None:
         self.backend = backend
         self.config = config
@@ -148,12 +173,20 @@ class ServeEngine:
         self.labels = dict(labels or {})
         #: optional flight recorder fed per event (arrivals, serves, depth)
         self.recorder = recorder
+        #: null-safe recorder facade (shared shape with the fleet's
+        #: telemetry forwarding — see ``WindowedEmitter``)
+        self._emit = WindowedEmitter(recorder)
         #: optional KASLR auditor fed one record per provisioned instance
         self.auditor = auditor
         #: Chrome-trace track for lifecycle spans; spans only materialize
         #: when both a telemetry sink and a track name are configured, so
         #: plain engine runs stay event-free
         self.track = track
+        #: optional request tracer (usually a per-cell scoped view); when
+        #: absent the run is byte-identical to an untraced one, and when
+        #: present the event loop only fills compact records — the span
+        #: trees materialize lazily (see :meth:`_build_traces`)
+        self.tracer = tracer
 
     # -- internal helpers ------------------------------------------------------
 
@@ -167,18 +200,6 @@ class ServeEngine:
         self.telemetry.registry.counter(
             name, help=help_text, **self.labels, **extra
         ).inc(amount)
-
-    def _ts_count(self, t_ns: int, name: str, amount: int = 1) -> None:
-        if self.recorder is not None:
-            self.recorder.count(t_ns, name, amount)
-
-    def _ts_gauge(self, t_ns: int, name: str, value: float) -> None:
-        if self.recorder is not None:
-            self.recorder.set_gauge(t_ns, name, value)
-
-    def _ts_observe(self, t_ns: int, name: str, value: float) -> None:
-        if self.recorder is not None:
-            self.recorder.observe(t_ns, name, value)
 
     def _span(
         self,
@@ -227,8 +248,19 @@ class ServeEngine:
         if digest is not None:
             self.auditor.touch(self._audit_strategy(), digest, t_ns)
 
-    def _provision(self, now_ns: int) -> None:
-        """Chase the target: start provisions until the deficit closes."""
+    def _provision(
+        self, now_ns: int, trigger: int | None = None, rec: list | None = None
+    ) -> None:
+        """Chase the target: start provisions until the deficit closes.
+
+        ``trigger`` is the request index whose admission or dispatch
+        opened the deficit; its trace adopts the provision spans, so a
+        cold request's scale-up shows up *inside* that request's tree
+        (``rec`` is that request's served record when the trigger has
+        already dispatched).  Refills with no single cause (prewarm
+        top-ups, post-failure retries) land on the cell's ``pool``
+        trace instead.
+        """
         if self._breaker_tripped:
             return
         pool = self._pool
@@ -237,7 +269,7 @@ class ServeEngine:
             sample = self.backend.sample(self._production_index)
             self._production_index += 1
             window = self._provisioners.schedule_at(now_ns, sample.startup_ns)
-            self._ts_count(now_ns, "serve_provision_started")
+            self._emit.count(now_ns, "serve_provision_started")
             self._span(
                 "provision",
                 start_ns=window.start_ns,
@@ -245,6 +277,20 @@ class ServeEngine:
                 worker=window.worker,
                 detail=f"instance={instance_id} failed={sample.failed}",
             )
+            if self.tracer is not None:
+                prov = [instance_id, window, sample, ""]
+                self._prov_of[instance_id] = prov
+                if rec is not None:
+                    # trigger already dispatched: its execute span
+                    # precedes these provisions in its tree
+                    rec.append(prov)
+                elif trigger is not None:
+                    lst = self._prov_arrive_of.get(trigger)
+                    if lst is None:
+                        lst = self._prov_arrive_of[trigger] = []
+                    lst.append(prov)
+                else:
+                    self._pool_records.append(("provision", prov))
             if sample.failed:
                 # the provisioner still burns the time before giving up
                 self._push(window.end_ns, EventKind.READY, -(instance_id + 1))
@@ -265,19 +311,189 @@ class ServeEngine:
                 return
             self._queue.popleft()
             self._resolved.add(req)
-            self._serving[inst.instance_id] = (req, inst, now_ns)
             sample = self._instance_sample[inst.instance_id]
             done = now_ns + sample.invoke_ns
             self._push(done, EventKind.DONE, inst.instance_id)
+            if self.tracer is not None:
+                rec = [
+                    req, self._arrival_of[req], now_ns, 0, inst, sample,
+                    self._prov_of.get(inst.instance_id),
+                    self._prov_arrive_of.pop(req, None),
+                ]
+                self._records.append(rec)
+            else:
+                rec = None
+            self._serving[inst.instance_id] = (req, inst, now_ns, rec)
             self._touch_idle(now_ns)
             # consuming capacity may open a deficit immediately
-            self._provision(now_ns)
+            self._provision(now_ns, trigger=req, rec=rec)
 
     def _touch_idle(self, now_ns: int) -> None:
         self._idle_at = now_ns + self.config.policy.idle_ns
         if not self._idle_armed:
             self._idle_armed = True
             self._push(self._idle_at, EventKind.IDLE, 0)
+
+    # -- deferred trace materialization ----------------------------------------
+
+    @staticmethod
+    def _prov_attrs(prov: list) -> dict:
+        instance_id, window, sample, _ = prov
+        attrs = {
+            "instance": instance_id,
+            "worker": window.worker,
+            "failed": sample.failed,
+        }
+        if sample.source:
+            attrs["source"] = sample.source
+        return attrs
+
+    @staticmethod
+    def _build_traces(
+        tracer: RequestTracer,
+        pool_ctx: TraceContext,
+        pool_records: list,
+        records: list,
+        failed_recs: list,
+    ) -> None:
+        """Replay one run's compact records into real span trees.
+
+        Runs off the hot path (first tracer read; see
+        :meth:`RequestTracer.defer`).  Must reproduce *exactly* the
+        spans — same per-trace seq order, same trace creation order —
+        that eager construction would mint; the byte-identical golden
+        (``tests/golden/serve_traces.json``) pins this.
+        """
+        # Pass 1: provision/prewarm span ids, computed arithmetically
+        # from each record's future seq so an execute span can link to
+        # the provision that built its instance even when that
+        # provision lives in a trace built later (FIFO queues let an
+        # *earlier* request lease an instance a *later* one triggered).
+        for seq, entry in enumerate(pool_records):
+            if entry[0] != "evict":
+                entry[1][-1] = derive_span_id(pool_ctx.trace_id, seq)
+        by_index: dict[int, object] = {rec[R_INDEX]: rec for rec in records}
+        for failed in failed_recs:
+            by_index[failed[1]] = failed
+        order = sorted(by_index)
+        for index in order:
+            rec = by_index[index]
+            if isinstance(rec, tuple):  # rejected / deadline
+                arrive = rec[4] if rec[0] == "deadline" else None
+                dispatch = ()
+            else:
+                arrive = rec[R_PROV_ARRIVE]
+                dispatch = rec[R_LEN:]
+            if not arrive and not dispatch:
+                continue
+            trace_id = tracer.trace_id_for(f"req/{index}")
+            seq = 2  # after the root (0) and queue (1) spans
+            for prov in arrive or ():
+                prov[-1] = derive_span_id(trace_id, seq)
+                seq += 1
+            if dispatch:
+                seq += 1  # the execute span sits between the phases
+                for prov in dispatch:
+                    prov[-1] = derive_span_id(trace_id, seq)
+                    seq += 1
+
+        # Pass 2: the pool trace, spans in event order.
+        for entry in pool_records:
+            kind = entry[0]
+            if kind == "prewarm":
+                instance_id, sample, _ = entry[1]
+                attrs = {"instance": instance_id}
+                if sample.source:
+                    attrs["source"] = sample.source
+                pool_ctx.span("prewarm", "prewarm", 0, 0, attrs=attrs)
+            elif kind == "provision":
+                prov = entry[1]
+                window = prov[1]
+                pool_ctx.span(
+                    "provision", "provision",
+                    window.start_ns, window.end_ns,
+                    attrs=ServeEngine._prov_attrs(prov),
+                )
+            else:
+                pool_ctx.span(
+                    "evict", "evict", entry[2], entry[2],
+                    attrs={"instance": entry[1]},
+                )
+
+        # Pass 3: request traces in arrival (= index) order, spans in
+        # the order an eager implementation would create them.
+        for index in order:
+            rec = by_index[index]
+            ctx = tracer.trace(f"req/{index}")
+            if isinstance(rec, tuple) and rec[0] == "rejected":
+                ctx.span(
+                    "request", "request", rec[2], rec[2],
+                    attrs={"index": index, "status": "rejected"},
+                )
+                continue
+            arrival_ns = rec[2] if isinstance(rec, tuple) else rec[R_ARRIVAL]
+            root = ctx.open(
+                "request", "request", arrival_ns, attrs={"index": index}
+            )
+            queue = ctx.open(
+                "queue", "queue", arrival_ns, parent=root.span_id
+            )
+            if isinstance(rec, tuple):  # deadline
+                _, _, _, failed_ns, arrive = rec
+                for prov in arrive or ():
+                    window = prov[1]
+                    ctx.span(
+                        "provision", "provision",
+                        window.start_ns, window.end_ns,
+                        parent=root.span_id,
+                        attrs=ServeEngine._prov_attrs(prov),
+                    )
+                queue.close(failed_ns)
+                root.close(failed_ns, status="deadline")
+                continue
+            for prov in rec[R_PROV_ARRIVE] or ():
+                window = prov[1]
+                ctx.span(
+                    "provision", "provision",
+                    window.start_ns, window.end_ns,
+                    parent=root.span_id, attrs=ServeEngine._prov_attrs(prov),
+                )
+            inst = rec[R_INST]
+            sample = rec[R_SAMPLE]
+            queue.close(rec[R_DISPATCH])
+            attrs = {
+                "instance": inst.instance_id,
+                "cold": inst.ready_ns > arrival_ns,
+                "ready_ns": inst.ready_ns,
+                "degraded": inst.degraded,
+            }
+            if rec[R_PROV] is not None:
+                attrs["provision_span"] = rec[R_PROV][-1]
+            if sample.source:
+                attrs["source"] = sample.source
+            if sample.stage_ns:
+                attrs["stage_ns"] = dict(sample.stage_ns)
+            execute = ctx.open(
+                "execute", "execute", rec[R_DISPATCH],
+                parent=root.span_id, attrs=attrs,
+            )
+            for prov in rec[R_LEN:]:
+                window = prov[1]
+                ctx.span(
+                    "provision", "provision",
+                    window.start_ns, window.end_ns,
+                    parent=root.span_id, attrs=ServeEngine._prov_attrs(prov),
+                )
+            execute.close(rec[R_DONE])
+            ctx.span(
+                "respond", "respond", rec[R_DONE], rec[R_DONE],
+                parent=root.span_id,
+            )
+            root.close(
+                rec[R_DONE],
+                status="served",
+                latency_ns=rec[R_DONE] - arrival_ns,
+            )
 
     # -- the run ---------------------------------------------------------------
 
@@ -291,7 +507,7 @@ class ServeEngine:
         self._queue: deque[int] = deque()
         self._resolved: set[int] = set()
         self._arrival_of: dict[int, int] = {}
-        self._serving: dict[int, tuple[int, WarmInstance, int]] = {}
+        self._serving: dict[int, tuple] = {}
         self._pending: dict[int, ProductionSample] = {}
         self._instance_sample: dict[int, ProductionSample] = {}
         self._instance_digest: dict[int, str] = {}
@@ -300,6 +516,23 @@ class ServeEngine:
         self._breaker_tripped = False
         self._idle_at = 0
         self._idle_armed = False
+        #: served-request records, in dispatch order (see R_* layout)
+        self._records: list[list] = []
+        #: rejected/deadline records, in resolution order
+        self._failed_recs: list[tuple] = []
+        #: admission-triggered provisions parked until the request resolves
+        self._prov_arrive_of: dict[int, list] = {}
+        #: instance id -> provision/prewarm record that built it
+        self._prov_of: dict[int, list] = {}
+        #: pool-trace records (prewarms, unowned refills, evictions),
+        #: in event order
+        self._pool_records: list[tuple] = []
+        #: cell-wide trace adopting spans with no single requester
+        #: (prewarms, retry refills, evictions); minting it eagerly
+        #: keeps it first in the store's creation order
+        self._pool_ctx = (
+            self.tracer.trace("pool") if self.tracer is not None else None
+        )
 
         served = rejected = deadline_missed = 0
         cold_starts = degraded_serves = 0
@@ -319,10 +552,10 @@ class ServeEngine:
             if sample.failed:
                 self._pool.fail_provision()
                 self._consecutive_failures += 1
-                self._ts_count(0, "serve_provision_failures")
+                self._emit.count(0, "serve_provision_failures")
                 if self._consecutive_failures >= cfg.max_provision_failures:
                     self._breaker_tripped = True
-                    self._ts_count(0, "serve_breaker_trips")
+                    self._emit.count(0, "serve_breaker_trips")
                     self._span(
                         "breaker",
                         start_ns=0,
@@ -331,6 +564,10 @@ class ServeEngine:
             else:
                 self._consecutive_failures = 0
                 self._instance_sample[instance_id] = sample
+                if self._pool_ctx is not None:
+                    prewarm = [instance_id, sample, ""]
+                    self._prov_of[instance_id] = prewarm
+                    self._pool_records.append(("prewarm", prewarm))
                 self._pool.complete_provision(
                     instance_id,
                     ready_ns=0,
@@ -338,7 +575,7 @@ class ServeEngine:
                     layout_offset=sample.layout_offset,
                     degraded=sample.degraded,
                 )
-                self._ts_count(0, "serve_prewarmed")
+                self._emit.count(0, "serve_prewarmed")
                 self._span(
                     "prewarm", start_ns=0, detail=f"instance={instance_id}"
                 )
@@ -359,27 +596,31 @@ class ServeEngine:
                 self.recorder.advance(now_ns)
 
             if kind is EventKind.ARRIVE:
-                self._ts_count(now_ns, "serve_arrivals")
+                self._emit.count(now_ns, "serve_arrivals")
                 if len(self._queue) >= cfg.queue_cap:
                     rejected += 1
                     self._resolved.add(payload)
+                    if self.tracer is not None:
+                        self._failed_recs.append(
+                            ("rejected", payload, now_ns)
+                        )
                     self._count(
                         "repro_serve_failed_total",
                         "Requests the control plane failed",
                         reason="rejected",
                     )
-                    self._ts_count(now_ns, "serve_rejected")
+                    self._emit.count(now_ns, "serve_rejected")
                     continue
                 self._queue.append(payload)
                 self._arrival_of[payload] = now_ns
                 max_queue_depth = max(max_queue_depth, len(self._queue))
-                self._ts_gauge(now_ns, "serve_queue_depth", len(self._queue))
+                self._emit.gauge(now_ns, "serve_queue_depth", len(self._queue))
                 self._push(
                     now_ns + cfg.deadline_ns, EventKind.DEADLINE, payload
                 )
                 self._pool.observe_queue(len(self._queue))
                 self._touch_idle(now_ns)
-                self._provision(now_ns)
+                self._provision(now_ns, trigger=payload)
                 self._dispatch(now_ns)
 
             elif kind is EventKind.READY:
@@ -390,10 +631,10 @@ class ServeEngine:
                         "repro_serve_provision_failures_total",
                         "Productions that died (cold fallback included)",
                     )
-                    self._ts_count(now_ns, "serve_provision_failures")
+                    self._emit.count(now_ns, "serve_provision_failures")
                     if self._consecutive_failures >= cfg.max_provision_failures:
                         self._breaker_tripped = True
-                        self._ts_count(now_ns, "serve_breaker_trips")
+                        self._emit.count(now_ns, "serve_breaker_trips")
                         self._span(
                             "breaker",
                             start_ns=now_ns,
@@ -412,15 +653,15 @@ class ServeEngine:
                     layout_offset=sample.layout_offset,
                     degraded=sample.degraded,
                 )
-                self._ts_count(now_ns, "serve_provisioned")
-                self._ts_gauge(
+                self._emit.count(now_ns, "serve_provisioned")
+                self._emit.gauge(
                     now_ns, "serve_pool_ready", self._pool.ready_count
                 )
                 self._audit_record(payload, sample, now_ns)
                 self._dispatch(now_ns)
 
             elif kind is EventKind.DONE:
-                req, inst, lease_ns = self._serving.pop(payload)
+                req, inst, lease_ns, rec = self._serving.pop(payload)
                 self._instance_sample.pop(payload, None)
                 self._pool.finish(inst)
                 arrival = self._arrival_of.pop(req)
@@ -444,11 +685,22 @@ class ServeEngine:
                     duration_ns=now_ns - lease_ns,
                     detail=f"req={req} cold={str(cold).lower()}",
                 )
-                self._ts_count(now_ns, "serve_served")
+                if rec is not None:
+                    rec[R_DONE] = now_ns
+                self._emit.count(now_ns, "serve_served")
                 if cold:
-                    self._ts_count(now_ns, "serve_cold_starts")
-                self._ts_observe(
-                    now_ns, "serve_latency_ms", (now_ns - arrival) / 1e6
+                    self._emit.count(now_ns, "serve_cold_starts")
+                self._emit.observe(
+                    now_ns,
+                    "serve_latency_ms",
+                    (now_ns - arrival) / 1e6,
+                    # ids are pure functions of (seed, key): one sha256
+                    # stamps the exemplar without materializing the trace
+                    exemplar=(
+                        self.tracer.trace_id_for(f"req/{req}")
+                        if rec is not None and self.recorder is not None
+                        else None
+                    ),
                 )
                 self._audit_touch(payload, now_ns)
                 self._provision(now_ns)
@@ -461,14 +713,19 @@ class ServeEngine:
                 # eager removal keeps the admission bound honest: a
                 # timed-out request must stop occupying a queue slot
                 self._queue.remove(payload)
-                self._arrival_of.pop(payload, None)
+                arrival = self._arrival_of.pop(payload, now_ns)
+                if self.tracer is not None:
+                    self._failed_recs.append((
+                        "deadline", payload, arrival, now_ns,
+                        self._prov_arrive_of.pop(payload, None),
+                    ))
                 deadline_missed += 1
                 self._count(
                     "repro_serve_failed_total",
                     "Requests the control plane failed",
                     reason="deadline",
                 )
-                self._ts_count(now_ns, "serve_deadline_missed")
+                self._emit.count(now_ns, "serve_deadline_missed")
 
             elif kind is EventKind.IDLE:
                 if now_ns < self._idle_at:
@@ -477,13 +734,17 @@ class ServeEngine:
                 self._idle_armed = False
                 if not self._queue:
                     retired = self._pool.scale_to_floor(now_ns)
-                    self._ts_count(now_ns, "serve_evicted", len(retired))
+                    self._emit.count(now_ns, "serve_evicted", len(retired))
                     for inst in retired:
                         self._span(
                             "evict",
                             start_ns=now_ns,
                             detail=f"instance={inst.instance_id}",
                         )
+                        if self._pool_ctx is not None:
+                            self._pool_records.append(
+                                ("evict", inst.instance_id, now_ns)
+                            )
                         self._audit_touch(inst.instance_id, now_ns)
 
         self._pool.drain()
@@ -492,6 +753,21 @@ class ServeEngine:
             # close every window through the run horizon so the frame
             # sequence tiles the full observation span deterministically
             self.recorder.close(horizon_ns)
+        if self.tracer is not None:
+            # hand the compact records to the tracer; span trees
+            # materialize on the first read, off the hot path.  The
+            # builder captures this run's stores so a re-run of the
+            # engine cannot alias them.
+            self.tracer.defer(
+                partial(
+                    self._build_traces,
+                    self.tracer,
+                    self._pool_ctx,
+                    self._pool_records,
+                    self._records,
+                    self._failed_recs,
+                )
+            )
 
         return ServeResult(
             arrivals=len(arrivals),

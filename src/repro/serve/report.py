@@ -60,6 +60,10 @@ class StrategySlo:
     pool_retired_idle: int
     provisioner_busy: float
     breaker_tripped: bool
+    #: tail-latency attribution (``TailAttribution.to_json()`` plus the
+    #: slowest trace ids) — present only on traced runs, and omitted from
+    #: the JSON when ``None`` so untraced reports stay byte-identical
+    tail: dict | None = None
 
     @classmethod
     def from_result(
@@ -70,6 +74,7 @@ class StrategySlo:
         mix: str,
         rate_per_s: float,
         duration_s: float,
+        tail: dict | None = None,
     ) -> "StrategySlo":
         lat = result.latencies_ns
         # a run that served nothing (e.g. breaker tripped at prewarm)
@@ -104,6 +109,7 @@ class StrategySlo:
             pool_retired_idle=result.pool.retired_idle,
             provisioner_busy=round(result.provisioner_busy, 6),
             breaker_tripped=result.breaker_tripped,
+            tail=tail,
         )
 
 
@@ -126,7 +132,15 @@ class SloReport:
 
     def to_dict(self) -> dict:
         out = asdict(self)
-        out["rows"] = [asdict(r) for r in self.rows]
+        rows = []
+        for r in self.rows:
+            row = asdict(r)
+            if row.get("tail") is None:
+                # untraced rows drop the key entirely, keeping pre-tracing
+                # documents (and the serve_slo golden) byte-identical
+                row.pop("tail", None)
+            rows.append(row)
+        out["rows"] = rows
         return out
 
     def to_json(self) -> str:

@@ -56,8 +56,28 @@ from repro.telemetry.registry import (
     MetricsRegistry,
     ScopedRegistry,
 )
+from repro.telemetry.critical_path import (
+    CriticalPath,
+    Segment,
+    TailAttribution,
+    critical_path,
+    request_paths,
+    slowest,
+    tail_attribution,
+)
 from repro.telemetry.stats import StageLatency, latency_summary, percentile
-from repro.telemetry.timeseries import TimeSeriesRecorder, WindowFrame
+from repro.telemetry.timeseries import (
+    TimeSeriesRecorder,
+    WindowFrame,
+    WindowedEmitter,
+)
+from repro.telemetry.tracing import (
+    OpenSpan,
+    RequestTracer,
+    Span,
+    TraceContext,
+    derive_trace_id,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.simtime.trace import StageSpan
@@ -77,24 +97,33 @@ class Telemetry:
         registry: MetricsRegistry | ScopedRegistry | None = None,
         log: BootEventLog | None = None,
         timeseries: TimeSeriesRecorder | None = None,
+        tracer: RequestTracer | None = None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.log = log if log is not None else BootEventLog()
         #: optional flight recorder; sink methods feed it when installed
         self.timeseries = timeseries
+        #: shared null-safe recorder facade (fleet timeseries forwarding
+        #: and the serve engine write through the same helper)
+        self.emitter = WindowedEmitter(timeseries)
+        #: optional request tracer; snapshots carry its span trees so the
+        #: Chrome exporter can render per-request tracks
+        self.tracer = tracer
 
     def scoped(self, **labels: str) -> "Telemetry":
         """A label-injecting view sharing this instance's log/recorder.
 
-        Metrics written through the view carry ``labels``; the event log
-        and flight recorder are shared, so one snapshot still sees the
-        whole run.  `repro serve` hands each strategy its own scope to
-        keep counters from bleeding between strategies in one process.
+        Metrics written through the view carry ``labels``; the event log,
+        flight recorder, and tracer are shared, so one snapshot still
+        sees the whole run.  `repro serve` hands each strategy its own
+        scope to keep counters from bleeding between strategies in one
+        process.
         """
         return Telemetry(
             registry=ScopedRegistry(self.registry, labels),
             log=self.log,
             timeseries=self.timeseries,
+            tracer=self.tracer,
         )
 
     # -- TelemetrySink ---------------------------------------------------------
@@ -140,8 +169,8 @@ class Telemetry:
             # stage spans run on boot-local clocks; only a recorder that
             # opted in mixes them onto its window axis (single-boot use)
             end_ns = span.start_ns + span.charged_ns
-            recorder.count(end_ns, "stage_runs")
-            recorder.observe(
+            self.emitter.count(end_ns, "stage_runs")
+            self.emitter.observe(
                 end_ns, f"stage_{span.name}_ms", span.charged_ns / NS_PER_MS
             )
 
@@ -166,12 +195,10 @@ class Telemetry:
             worker=worker,
             detail=detail,
         )
-        recorder = self.timeseries
-        if recorder is not None:
-            # fleet wall time: the boot lands in the window it completed
-            end_ns = start_ns + duration_ns
-            recorder.count(end_ns, "fleet_boots")
-            recorder.observe(end_ns, "boot_ms", duration_ns / NS_PER_MS)
+        # fleet wall time: the boot lands in the window it completed
+        end_ns = start_ns + duration_ns
+        self.emitter.count(end_ns, "fleet_boots")
+        self.emitter.observe(end_ns, "boot_ms", duration_ns / NS_PER_MS)
 
     def serve_span(
         self,
@@ -203,7 +230,9 @@ class Telemetry:
     # -- snapshotting ----------------------------------------------------------
 
     def snapshot(self) -> TelemetrySnapshot:
-        return TelemetrySnapshot.of(self.registry, self.log, self.timeseries)
+        return TelemetrySnapshot.of(
+            self.registry, self.log, self.timeseries, tracer=self.tracer
+        )
 
 
 _default = Telemetry()
@@ -244,6 +273,7 @@ __all__ = [
     "BurnRateRule",
     "CostProfiler",
     "Counter",
+    "CriticalPath",
     "DEFAULT_NS_BUCKETS",
     "Gauge",
     "Histogram",
@@ -255,18 +285,30 @@ __all__ = [
     "MetricPoint",
     "MetricsRegistry",
     "NS_PER_MS",
+    "OpenSpan",
+    "RequestTracer",
     "ScopedRegistry",
+    "Segment",
+    "Span",
     "StageLatency",
+    "TailAttribution",
     "Telemetry",
     "TelemetrySink",
     "TelemetrySnapshot",
     "TimeSeriesRecorder",
+    "TraceContext",
     "WindowFrame",
+    "WindowedEmitter",
+    "critical_path",
+    "derive_trace_id",
     "get_telemetry",
     "latency_summary",
     "percentile",
+    "request_paths",
     "scoped_telemetry",
     "set_telemetry",
+    "slowest",
+    "tail_attribution",
     "to_chrome_trace",
     "to_json_dump",
     "to_prometheus",

@@ -136,6 +136,7 @@ class AlertManager:
         rules,
         telemetry=None,
         track: str = "alerts",
+        exemplar_series: str = "serve_latency_ms",
     ) -> None:
         self.rules = tuple(rules)
         names = [r.name for r in self.rules]
@@ -143,6 +144,10 @@ class AlertManager:
             raise ValueError(f"duplicate rule names: {sorted(names)}")
         self.telemetry = telemetry
         self.track = track
+        #: which distribution's exemplars a firing transition links when
+        #: the rule's own series carries none (burn-rate rules watch
+        #: counters, which have no exemplars of their own)
+        self.exemplar_series = exemplar_series
         self._states = {
             rule.name: _RuleState(
                 getattr(rule, "long_windows", 0)
@@ -222,6 +227,13 @@ class AlertManager:
             "at_ms": round(frame.end_ns / _NS_PER_MS, 6),
             "value": None if value is None else round(value, 6),
         }
+        exemplars: list[str] = []
+        if new == FIRING:
+            exemplars = self._exemplars(name, frame)
+            if exemplars:
+                # only exemplar-carrying transitions change shape, so
+                # tracer-less runs keep their byte-identical documents
+                transition["exemplars"] = exemplars
         self.transitions.append(transition)
         if self.telemetry is not None:
             self.telemetry.registry.counter(
@@ -241,8 +253,27 @@ class AlertManager:
                 detail=(
                     f"{old}->{new}"
                     + ("" if value is None else f" value={round(value, 6)}")
+                    + ("" if not exemplars else f" traces={','.join(exemplars)}")
                 ),
             )
+
+    def _exemplars(self, rule_name: str, frame: WindowFrame) -> list[str]:
+        """Trace ids to pin on a firing transition (slowest first).
+
+        Prefers the rule's own series when it is an exemplar-carrying
+        distribution; falls back to :attr:`exemplar_series`.  Empty when
+        no tracer fed the window (the disabled-path contract).
+        """
+        (rule,) = [r for r in self.rules if r.name == rule_name]
+        candidates = [getattr(rule, "series", None), self.exemplar_series]
+        for series in candidates:
+            if series is None:
+                continue
+            entry = frame.distributions.get(series) or {}
+            exemplars = entry.get("exemplars") or []
+            if exemplars:
+                return [e["trace_id"] for e in exemplars]
+        return []
 
     # -- export ----------------------------------------------------------------
 

@@ -25,6 +25,7 @@ runs).
 
 from __future__ import annotations
 
+import io
 import json
 import threading
 from dataclasses import dataclass
@@ -143,12 +144,35 @@ class BootEventLog:
     def __iter__(self) -> Iterator[BootEvent]:
         return iter(self.events())
 
+    def write_jsonl(self, fp) -> int:
+        """Stream one compact JSON object per line into ``fp``.
+
+        Unlike :meth:`to_jsonl` this never materializes the whole
+        serialization, so exporting a million-event serve run costs one
+        line of memory, not twice the log.  Returns lines written; every
+        line (including the last) is newline-terminated.
+        """
+        lines = 0
+        for event in self.events():
+            fp.write(
+                json.dumps(
+                    event.to_json(), sort_keys=True, separators=(",", ":")
+                )
+            )
+            fp.write("\n")
+            lines += 1
+        return lines
+
     def to_jsonl(self) -> str:
-        """One compact JSON object per line, in append order."""
-        return "\n".join(
-            json.dumps(event.to_json(), sort_keys=True, separators=(",", ":"))
-            for event in self.events()
-        )
+        """One compact JSON object per line, in append order.
+
+        Kept for small logs and tests; the CLI export paths stream via
+        :meth:`write_jsonl` instead.  No trailing newline, matching the
+        original shape.
+        """
+        buf = io.StringIO()
+        self.write_jsonl(buf)
+        return buf.getvalue()[:-1] if buf.tell() else ""
 
 
 @runtime_checkable

@@ -42,6 +42,10 @@ TRACE_PID = 0
 #: serve-engine lifecycle tracks start here, clear of any worker tid
 SERVE_TID_BASE = 1000
 
+#: per-request trace tracks start here, clear of the serve tracks (which
+#: allocate one tid per engine cell and stay well under 1000 cells)
+REQUEST_TID_BASE = 2000
+
 
 @dataclass(frozen=True)
 class TelemetrySnapshot:
@@ -51,6 +55,8 @@ class TelemetrySnapshot:
     events: tuple[BootEvent, ...]
     #: the flight recorder's windowed export, when one was installed
     timeseries: dict | None = None
+    #: request tracer's span trees as (key, trace_id, spans), creation order
+    traces: tuple[tuple[str, str, tuple], ...] | None = None
 
     @classmethod
     def of(
@@ -58,12 +64,21 @@ class TelemetrySnapshot:
         registry: MetricsRegistry,
         log: BootEventLog,
         timeseries=None,
+        tracer=None,
     ) -> "TelemetrySnapshot":
         return cls(
             metrics=registry.collect(),
             events=tuple(sorted(log.events(), key=BootEvent.sort_key)),
             timeseries=(
                 timeseries.to_json_dict() if timeseries is not None else None
+            ),
+            traces=(
+                tuple(
+                    (ctx.key, ctx.trace_id, ctx.spans())
+                    for ctx in tracer.traces()
+                )
+                if tracer is not None
+                else None
             ),
         )
 
@@ -268,6 +283,7 @@ def to_chrome_trace(snapshot: TelemetrySnapshot) -> dict:
         )
 
     trace_events.extend(_serve_track_events(snapshot))
+    trace_events.extend(_request_track_events(snapshot))
 
     return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
@@ -328,6 +344,52 @@ def _serve_track_events(snapshot: TelemetrySnapshot) -> list[dict]:
     return out
 
 
+def _request_track_events(snapshot: TelemetrySnapshot) -> list[dict]:
+    """Per-request span trees as dedicated tracks (tid 2000+).
+
+    One track per trace, in tracer creation order; each span renders as
+    a complete slice at its simulated-time window, with the span tree
+    readable through the ``parent``/``span_id`` args.  Empty (and
+    therefore absent) when no tracer ran, so tracer-less traces stay
+    byte-identical.
+    """
+    if not snapshot.traces:
+        return []
+    out: list[dict] = []
+    for i, (key, trace_id, spans) in enumerate(snapshot.traces):
+        tid = REQUEST_TID_BASE + i
+        out.append(
+            {
+                "ph": "M",
+                "pid": TRACE_PID,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": f"trace {key}"},
+            }
+        )
+        for span in spans:
+            args: dict = {
+                "trace_id": trace_id,
+                "span_id": span.span_id,
+                "parent": span.parent_id,
+            }
+            for name in sorted(span.attrs):
+                args[name] = span.attrs[name]
+            out.append(
+                {
+                    "name": span.name,
+                    "cat": span.kind,
+                    "ph": "X",
+                    "ts": span.start_ns / 1e3,
+                    "dur": span.duration_ns / 1e3,
+                    "pid": TRACE_PID,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+    return out
+
+
 # -- plain JSON dump -----------------------------------------------------------
 
 
@@ -367,4 +429,12 @@ def to_json_dump(snapshot: TelemetrySnapshot) -> dict:
         # only recorder-equipped runs carry the key, so pre-existing
         # dumps (and their goldens) stay byte-identical
         out["timeseries"] = snapshot.timeseries
+    if snapshot.traces:
+        out["traces"] = {
+            trace_id: {
+                "key": key,
+                "spans": [span.to_json() for span in spans],
+            }
+            for key, trace_id, spans in sorted(snapshot.traces, key=lambda t: t[1])
+        }
     return out

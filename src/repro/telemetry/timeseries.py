@@ -40,7 +40,7 @@ from typing import Callable
 
 from repro.telemetry.stats import percentile
 
-__all__ = ["TimeSeriesRecorder", "WindowFrame"]
+__all__ = ["EXEMPLAR_K", "TimeSeriesRecorder", "WindowFrame", "WindowedEmitter"]
 
 SCHEMA_VERSION = 1
 
@@ -49,16 +49,21 @@ _NS_PER_MS = 1e6
 #: the per-window distribution percentiles the exporters publish
 WINDOW_PERCENTILES: tuple[float, ...] = (50.0, 99.0)
 
+#: slowest exemplar trace ids kept per (window, distribution)
+EXEMPLAR_K = 3
+
 
 class _Accum:
     """Mutable per-window aggregation state (one open window)."""
 
-    __slots__ = ("counters", "gauges", "dists")
+    __slots__ = ("counters", "gauges", "dists", "exemplars")
 
     def __init__(self) -> None:
         self.counters: dict[str, int] = {}
         self.gauges: dict[str, tuple[float, float]] = {}  # (last, max)
         self.dists: dict[str, list[float]] = {}
+        #: name -> [(value, trace_id)] for samples that carried an exemplar
+        self.exemplars: dict[str, list[tuple[float, str]]] = {}
 
 
 @dataclass(frozen=True)
@@ -186,11 +191,23 @@ class TimeSeriesRecorder:
             peak = value if previous is None else max(previous[1], value)
             accum.gauges[name] = (value, peak)
 
-    def observe(self, t_ns: int, name: str, value: float) -> None:
-        """Add one sample to distribution ``name`` at instant ``t``."""
+    def observe(
+        self, t_ns: int, name: str, value: float, exemplar: str | None = None
+    ) -> None:
+        """Add one sample to distribution ``name`` at instant ``t``.
+
+        ``exemplar`` optionally attaches a trace id to the sample; the
+        window keeps the :data:`EXEMPLAR_K` largest-valued exemplars, so
+        a latency histogram window links straight to its slowest span
+        trees.  Windows without exemplars serialize exactly as before.
+        """
         with self._lock:
             accum = self._accum(t_ns)
             accum.dists.setdefault(name, []).append(float(value))
+            if exemplar is not None:
+                accum.exemplars.setdefault(name, []).append(
+                    (float(value), str(exemplar))
+                )
 
     # -- window lifecycle ------------------------------------------------------
 
@@ -252,6 +269,17 @@ class TimeSeriesRecorder:
             entry = {"count": len(values), "sum": round(sum(values), 4)}
             for q in WINDOW_PERCENTILES:
                 entry[f"p{q:g}"] = round(percentile(values, q), 4)
+            samples = accum.exemplars.get(name)
+            if samples:
+                # largest value first; insertion order breaks ties so the
+                # pick is deterministic for seeded runs
+                ranked = sorted(
+                    enumerate(samples), key=lambda iv: (-iv[1][0], iv[0])
+                )[:EXEMPLAR_K]
+                entry["exemplars"] = [
+                    {"trace_id": trace_id, "value": round(value, 4)}
+                    for _, (value, trace_id) in ranked
+                ]
             dists[name] = entry
         return WindowFrame(
             index=index,
@@ -306,3 +334,37 @@ class TimeSeriesRecorder:
                 },
                 "windows": [frame.to_json() for frame in self._frames],
             }
+
+
+class WindowedEmitter:
+    """Null-safe forwarding facade over an optional recorder.
+
+    The serve engine and the telemetry sink both feed a recorder *if one
+    is installed*; this helper centralizes the ``is not None`` guard so
+    every producer writes ``emitter.count(...)`` unconditionally and the
+    disabled path stays a cheap no-op (one attribute test, no recorder
+    method call).
+    """
+
+    __slots__ = ("recorder",)
+
+    def __init__(self, recorder: TimeSeriesRecorder | None = None) -> None:
+        self.recorder = recorder
+
+    @property
+    def enabled(self) -> bool:
+        return self.recorder is not None
+
+    def count(self, t_ns: int, name: str, amount: int = 1) -> None:
+        if self.recorder is not None:
+            self.recorder.count(t_ns, name, amount)
+
+    def gauge(self, t_ns: int, name: str, value: float) -> None:
+        if self.recorder is not None:
+            self.recorder.set_gauge(t_ns, name, value)
+
+    def observe(
+        self, t_ns: int, name: str, value: float, exemplar: str | None = None
+    ) -> None:
+        if self.recorder is not None:
+            self.recorder.observe(t_ns, name, value, exemplar=exemplar)

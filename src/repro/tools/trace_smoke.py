@@ -1,0 +1,166 @@
+"""Request-tracing smoke check (``make trace-smoke``).
+
+Drives the real CLI (``repro.cli.main``) through jitter-free ``trace``
+and ``watch`` runs and validates the tracing layer's load-bearing
+contracts end to end:
+
+* two identical seeded ``trace --json`` runs are byte-identical, and
+  trace ids are pure functions of the seed (a different seed mints a
+  disjoint id set);
+* conservation — every critical path in the document sums its segments
+  *exactly* (integer ``==``) to the request's end-to-end latency, and
+  the tail-attribution fractions sum to 1;
+* exemplar linkage — a cold cell offered load past its SLO fires an
+  alert whose transitions carry exemplar trace ids, and every one of
+  them resolves through ``trace --trace-id`` to a served request's span
+  tree in the same cell;
+* the human table modes (``trace`` and ``trace --trace-id``) exit 0 and
+  render the attribution/tree views.
+
+Exits non-zero with a one-line reason on any violation, so CI can run it
+right after the other CLI smoke steps.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import sys
+
+from repro.cli import main as cli_main
+
+#: every trace run shares these: small scale, jitter-free, fixed seed
+_BASE = [
+    "trace", "--kernel", "aws", "--scale", "16", "--jitter", "0",
+    "--seed", "7", "--duration", "4", "--samples", "6",
+    "--strategy", "cold-boot", "--rate", "90",
+]
+
+#: the matching flight (same shape, same seed) whose alert exemplars
+#: the trace replay must resolve
+_WATCH = [
+    "watch", "--kernel", "aws", "--scale", "16", "--jitter", "0",
+    "--seed", "7", "--duration", "4", "--samples", "6",
+    "--strategy", "cold-boot", "--rate", "90", "--slo-p99-ms", "5",
+    "--json",
+]
+
+
+def _fail(reason: str) -> None:
+    print(f"trace-smoke: FAIL: {reason}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def _run(argv: list[str]) -> tuple[int, str]:
+    """One CLI invocation; returns (exit code, captured stdout)."""
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        code = cli_main(argv)
+    return code, out.getvalue()
+
+
+def _doc(argv: list[str]) -> dict:
+    code, text = _run(argv)
+    if code != 0:
+        _fail(f"{' '.join(argv)} exited {code}")
+    return json.loads(text)
+
+
+def _trace_ids(doc: dict) -> set[str]:
+    return {
+        tid for cell in doc["cells"] for tid in cell["traces"]
+    }
+
+
+def _check_determinism() -> None:
+    argv = _BASE + ["--json"]
+    code, text = _run(argv)
+    if code != 0:
+        _fail(f"trace exited {code}")
+    code2, text2 = _run(argv)
+    if code2 != 0 or text2 != text:
+        _fail("two identical seeded trace runs diverged")
+    other = _doc(
+        [a if a != "7" else "8" for a in argv]
+    )
+    if _trace_ids(json.loads(text)) & _trace_ids(other):
+        _fail("different seeds minted overlapping trace ids")
+
+
+def _check_conservation() -> None:
+    doc = _doc(_BASE + ["--json"])
+    checked = 0
+    for cell in doc["cells"]:
+        tail = cell["tail"]
+        if tail is None:
+            _fail(f"cell {cell['strategy']} served nothing")
+        drift = abs(sum(tail["fractions"].values()) - 1.0)
+        if drift > 1e-6:
+            _fail(f"tail fractions sum off by {drift}")
+        for path in cell["slowest"]:
+            if sum(path["segments"].values()) != path["latency_ns"]:
+                _fail(
+                    f"critical path {path['trace_id']} does not conserve: "
+                    f"{sum(path['segments'].values())} != "
+                    f"{path['latency_ns']}"
+                )
+            checked += 1
+    if checked == 0:
+        _fail("trace document contains no critical paths")
+
+
+def _check_exemplar_linkage() -> None:
+    # cold boots at 90 req/s against a 5 ms p99 SLO must blow the budget
+    watch = _doc(list(_WATCH))
+    (cell,) = watch["cells"]
+    exemplars = {
+        tid
+        for t in cell["alerts"]["transitions"]
+        if t["to"] == "firing"
+        for tid in t.get("exemplars", ())
+    }
+    if not exemplars:
+        _fail("firing alerts carried no exemplar trace ids")
+    for tid in sorted(exemplars):
+        code, text = _run(_BASE + ["--trace-id", tid, "--json"])
+        if code != 0:
+            _fail(f"alert exemplar {tid} did not resolve via trace")
+        tree = json.loads(text)
+        if not tree["key"].startswith("cold-boot@90/req/"):
+            _fail(f"exemplar {tid} resolved outside the firing cell")
+        root = next(
+            (s for s in tree["spans"] if s["kind"] == "request"), None
+        )
+        if root is None or root["attrs"].get("status") != "served":
+            _fail(f"exemplar {tid} is not a served request trace")
+
+
+def _check_table_modes() -> None:
+    code, text = _run(list(_BASE))
+    if code != 0:
+        _fail(f"table-mode trace exited {code}")
+    if "tail (" not in text:
+        _fail("trace table mode did not render the tail attribution")
+    doc = _doc(_BASE + ["--json"])
+    tid = sorted(_trace_ids(doc))[0]
+    code, text = _run(_BASE + ["--trace-id", tid])
+    if code != 0 or f"trace {tid}" not in text:
+        _fail("trace --trace-id did not render the span tree")
+
+
+def main() -> int:
+    _check_determinism()
+    _check_conservation()
+    _check_exemplar_linkage()
+    _check_table_modes()
+    print(
+        "trace-smoke: OK (byte-identical reruns, seed-scoped ids, "
+        "exact critical-path conservation, alert exemplars resolve, "
+        "table modes render)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

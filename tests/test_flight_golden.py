@@ -79,6 +79,23 @@ def test_golden_contains_firing_then_resolved_alert():
             assert cell["alerts"]["transitions"] == []
 
 
+def test_firing_alerts_carry_exemplar_trace_ids():
+    """Every FIRING transition links the windows' slowest requests."""
+    doc = json.loads(GOLDEN_TIMESERIES.read_text())
+    firing = [
+        t
+        for cell in doc["cells"]
+        for t in cell["alerts"]["transitions"]
+        if t["to"] == "firing"
+    ]
+    assert firing, "the golden flight must include a firing alert"
+    for t in firing:
+        assert t.get("exemplars"), f"{t['rule']} fired without exemplars"
+        assert all(len(tid) == 16 for tid in t["exemplars"])
+    # resolutions (and *how* the ids resolve) are pinned against the
+    # trace golden in test_trace_golden.py
+
+
 def test_golden_audit_shows_restore_collapse():
     """The paper's trade-off, visible in the committed audit bytes."""
     doc = json.loads(GOLDEN_AUDIT.read_text())

@@ -30,8 +30,12 @@ from repro.serve import (
     ServeEngine,
 )
 from repro.simtime import CostModel
-from repro.telemetry import Telemetry, TimeSeriesRecorder
-from repro.telemetry.export import SERVE_TID_BASE, to_chrome_trace
+from repro.telemetry import RequestTracer, Telemetry, TimeSeriesRecorder
+from repro.telemetry.export import (
+    REQUEST_TID_BASE,
+    SERVE_TID_BASE,
+    to_chrome_trace,
+)
 
 MS = 1_000_000  # ns
 
@@ -83,6 +87,7 @@ def test_recorder_does_not_change_the_result():
         auditor=KaslrAuditor(),
         telemetry=Telemetry(),
         track="serve:test",
+        tracer=RequestTracer(3).scoped("test"),
     ).run(_spec())
     assert recorded == plain
 
@@ -170,6 +175,69 @@ def test_scoped_registries_do_not_bleed():
         assert point.value == 1
     # the log is shared: one snapshot still sees the whole run
     assert len(telemetry.log.events()) == 2
+
+
+def test_chrome_trace_tid_bands_do_not_collide(tiny_fgkaslr):
+    """Worker, serve-lifecycle, and request-trace tracks stay disjoint.
+
+    A high ``max_ready`` pool at high load mints hundreds of request
+    traces; their tids (2000+) must never collide with the serve
+    lifecycle band (1000+) or the small-integer fleet worker tids.
+    """
+    tracer = RequestTracer(3)
+    telemetry = Telemetry(tracer=tracer)
+    vmm = Firecracker(HostStorage(), CostModel(scale=1), telemetry=telemetry)
+    FleetManager(vmm, workers=8).launch(
+        VmConfig(kernel=tiny_fgkaslr, randomize=RandomizeMode.FGKASLR),
+        8,
+        fleet_seed=7,
+    )
+    engine = ServeEngine(
+        _backend(),
+        ServeConfig(
+            policy=AutoscalePolicy(
+                min_ready=2, max_ready=64, scale_up_depth=1
+            )
+        ),
+        telemetry=telemetry,
+        track="serve:restore@200",
+        tracer=tracer.scoped("restore@200"),
+    )
+    engine.run(_spec(rate=200.0))
+    trace = to_chrome_trace(telemetry.snapshot())
+    metas = [
+        e
+        for e in trace["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    ]
+    worker = {e["tid"] for e in metas if e["args"]["name"].startswith("worker-")}
+    serve = {e["tid"] for e in metas if e["args"]["name"].startswith("serve:")}
+    request = {e["tid"] for e in metas if e["args"]["name"].startswith("trace ")}
+    assert worker and serve and len(request) > 100
+    assert max(worker) < SERVE_TID_BASE
+    assert all(SERVE_TID_BASE <= t < REQUEST_TID_BASE for t in serve)
+    assert all(t >= REQUEST_TID_BASE for t in request)
+    assert not (worker & serve) and not (serve & request)
+    assert not (worker & request)
+
+
+def test_shared_event_log_stays_seq_ordered_across_strategies():
+    """Scoped label injection never reorders the shared event stream."""
+    telemetry = Telemetry()
+    for strategy in ("cold-boot", "restore"):
+        scope = telemetry.scoped(strategy=strategy)
+        ServeEngine(
+            _backend(),
+            ServeConfig(),
+            telemetry=scope,
+            track=f"serve:{strategy}@50",
+        ).run(_spec())
+    events = telemetry.log.events()
+    seqs = [e.seq for e in events]
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == len(seqs)
+    tracks = {e.boot_id for e in events if e.kind == "serve"}
+    assert tracks == {"serve:cold-boot@50", "serve:restore@50"}
 
 
 def test_fleet_launch_feeds_auditor(tiny_fgkaslr):
