@@ -3,8 +3,8 @@
 PYTHON ?= python3
 
 .PHONY: install test metrics-smoke faults-smoke serve-smoke watch-smoke \
-	trace-smoke bench bench-paper bench-gate bench-clean fleet-bench \
-	examples clean
+	trace-smoke mp-smoke bench bench-paper bench-gate bench-clean \
+	fleet-bench examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -36,6 +36,12 @@ watch-smoke:
 # conservation, alert-exemplar-to-span-tree linkage
 trace-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.tools.trace_smoke
+
+# multiprocess boot engine through the CLI: thread/process byte-identical
+# reports, deterministic replay, persistent cache tier reused across
+# invocations (second run parses zero times)
+mp-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.tools.mp_smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -314,7 +314,7 @@ def _run_fleet(args):
     recorder and auditor are ``None`` unless ``--timeseries-out`` /
     ``--audit`` asked for them (zero overhead otherwise).
     """
-    from repro.monitor import BootArtifactCache, FleetManager
+    from repro.monitor import BootArtifactCache, FleetManager, default_workers
 
     recorder = _make_recorder(args)
     telemetry = Telemetry(timeseries=recorder)
@@ -326,11 +326,21 @@ def _run_fleet(args):
     profiler = _make_profiler(args)
     vmm = _make_vmm(args, telemetry=telemetry, profiler=profiler)
     vmm.artifact_cache = BootArtifactCache(
-        max_entries=args.cache_entries, registry=telemetry.registry
+        max_entries=args.cache_entries,
+        registry=telemetry.registry,
+        disk_path=getattr(args, "cache_dir", None),
     )
     cfg = _build_cfg(args)
     cfg.seed = None  # per-instance seeds come from the fleet manager
-    manager = FleetManager(vmm, workers=args.workers, auditor=auditor)
+    workers = args.workers
+    if workers is None:
+        workers = default_workers(getattr(args, "workers_cap", 8))
+    manager = FleetManager(
+        vmm,
+        workers=workers,
+        auditor=auditor,
+        executor=getattr(args, "executor", "thread"),
+    )
     report = manager.launch(
         cfg,
         args.count,
@@ -411,6 +421,40 @@ def _cmd_bench_compare(args) -> int:
         strict=args.strict,
         write=sys.stdout.write,
     )
+
+
+def _cmd_cache(args) -> int:
+    """Inspect or evict the persistent on-disk artifact-cache tier."""
+    from repro.monitor import DiskCacheTier
+
+    tier = DiskCacheTier(args.dir)
+    if args.clear:
+        removed = tier.clear()
+        print(f"evicted {removed} entries from {tier.path}")
+        return 0
+    if args.evict is not None:
+        removed = tier.evict(args.evict)
+        print(f"evicted {removed} entries matching {args.evict!r} "
+              f"from {tier.path}")
+        return 0
+    rows = tier.entries()
+    if args.json:
+        print(json.dumps({"dir": str(tier.path), "entries": rows}, indent=2))
+        return 0
+    if not rows:
+        print(f"cache tier at {tier.path} is empty")
+        return 0
+    print(render_table(
+        ["file", "bytes", "image digest", "policy", "seed class", "valid"],
+        [[r["file"], str(r["bytes"]),
+          (r.get("image_digest") or "?")[:12],
+          (r.get("policy") or "?")[:12],
+          r.get("seed_class") or "?",
+          "yes" if r.get("valid") else "NO"]
+         for r in rows],
+        title=f"disk cache tier at {tier.path}",
+    ))
+    return 0
 
 
 def _cmd_sizes(args) -> int:
@@ -1174,12 +1218,21 @@ def _add_fleet_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--mem", type=int, default=256, help="guest MiB")
     parser.add_argument("--count", "--vms", dest="count", type=int, default=64,
                         help="fleet size")
-    parser.add_argument("--workers", type=int, default=8,
-                        help="concurrent boot slots")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="concurrent boot slots "
+                             "(default: host cores, capped at 8)")
+    parser.add_argument("--executor", choices=["thread", "process"],
+                        default="thread",
+                        help="boot backend: in-process threads or a "
+                             "multiprocess engine with shared-memory "
+                             "artifacts (default thread)")
     parser.add_argument("--seed", type=int, default=1,
                         help="fleet seed (per-VM seeds derive from it)")
     parser.add_argument("--cache-entries", type=int, default=64,
                         help="boot-artifact cache capacity")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent on-disk artifact-cache tier "
+                             "(survives across invocations)")
     parser.add_argument("--cold", action="store_true",
                         help="skip warm-up (measure cold caches)")
     _add_fault_flags(parser)
@@ -1279,7 +1332,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a seeded fleet and print Prometheus metrics text",
     )
     _add_fleet_options(metrics)
-    metrics.set_defaults(func=_cmd_metrics, count=4, workers=4)
+    metrics.set_defaults(func=_cmd_metrics, count=4, workers_cap=4)
 
     profile = sub.add_parser(
         "profile", parents=[common],
@@ -1292,7 +1345,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="output format (folded = flamegraph stacks)")
     profile.add_argument("--out", default="-", metavar="PATH",
                          help="profile destination ('-' = stdout)")
-    profile.set_defaults(func=_cmd_profile, count=4, workers=4)
+    profile.set_defaults(func=_cmd_profile, count=4, workers_cap=4)
 
     bench = sub.add_parser(
         "bench-compare",
@@ -1308,6 +1361,21 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--strict", action="store_true",
                        help="fail when a baselined benchmark produced no result")
     bench.set_defaults(func=_cmd_bench_compare)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or evict the persistent boot-artifact cache tier",
+    )
+    cache.add_argument("--dir", required=True, metavar="DIR",
+                       help="cache-tier directory (same as fleet --cache-dir)")
+    cache.add_argument("--evict", metavar="PREFIX", default=None,
+                       help="remove entries whose file name starts "
+                            "with PREFIX")
+    cache.add_argument("--clear", action="store_true",
+                       help="remove every entry")
+    cache.add_argument("--json", action="store_true",
+                       help="emit the inventory as JSON")
+    cache.set_defaults(func=_cmd_cache)
 
     sizes = sub.add_parser("sizes", parents=[common], help="regenerate Table 1")
     sizes.set_defaults(func=_cmd_sizes)

@@ -58,8 +58,11 @@ class Relocator:
         n = table.entry_count
         if n == 0:
             return 0
+        # one chunk-caching cursor for the whole batch: sites cluster by
+        # address, so nearly every fixup lands on the already-pinned chunk
+        cursor = self.memory.reloc_cursor()
         for reloc_type, link_offset in table.iter_entries():
-            self._apply_one(reloc_type, link_offset)
+            self._apply_one(reloc_type, link_offset, cursor)
         ctx.charge(
             ctx.costs.reloc_apply_batch_ns(n, in_guest=ctx.in_guest),
             ctx.steps.relocate,
@@ -74,16 +77,18 @@ class Relocator:
         layout.relocs_applied += n
         return n
 
-    def _apply_one(self, reloc_type: RelocType, link_offset: int) -> None:
+    def _apply_one(self, reloc_type: RelocType, link_offset: int, mem=None) -> None:
         layout = self.layout
+        if mem is None:
+            mem = self.memory
         # The site itself may have moved with its section (FGKASLR).
         site_paddr = layout.phys_load + layout.final_image_offset(link_offset)
         if reloc_type is RelocType.ABS64:
-            value = self.memory.read_u64(site_paddr)
+            value = mem.read_u64(site_paddr)
             _check_kernel_vaddr(value, f"ABS64 site at image+{link_offset:#x}")
-            self.memory.write_u64(site_paddr, layout.final_vaddr(value))
+            mem.write_u64(site_paddr, layout.final_vaddr(value))
         elif reloc_type is RelocType.ABS32:
-            low = self.memory.read_u32(site_paddr)
+            low = mem.read_u32(site_paddr)
             vaddr = _low32_to_vaddr(low)
             _check_kernel_vaddr(vaddr, f"ABS32 site at image+{link_offset:#x}")
             new = layout.final_vaddr(vaddr)
@@ -92,12 +97,12 @@ class Relocator:
                     f"ABS32 site at image+{link_offset:#x}: relocated value "
                     f"{new:#x} no longer fits 32 bits"
                 )
-            self.memory.write_u32(site_paddr, new & 0xFFFF_FFFF)
+            mem.write_u32(site_paddr, new & 0xFFFF_FFFF)
         elif reloc_type is RelocType.INV32:
-            stored = self.memory.read_u32(site_paddr)
+            stored = mem.read_u32(site_paddr)
             vaddr = _low32_to_vaddr((-stored) & 0xFFFF_FFFF)
             _check_kernel_vaddr(vaddr, f"INV32 site at image+{link_offset:#x}")
             new = layout.final_vaddr(vaddr)
-            self.memory.write_u32(site_paddr, (-new) & 0xFFFF_FFFF)
+            mem.write_u32(site_paddr, (-new) & 0xFFFF_FFFF)
         else:  # pragma: no cover - exhaustive enum
             raise RandomizationError(f"unknown relocation type {reloc_type}")

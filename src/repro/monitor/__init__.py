@@ -7,20 +7,36 @@ argument (Figure 8).  :class:`Qemu` is the same machinery under QEMU-like
 monitor constants, used for the Section 2.2 cross-check.
 """
 
-from repro.monitor.artifact_cache import BootArtifactCache, CacheStats
+from repro.monitor.artifact_cache import (
+    BootArtifactCache,
+    CacheScope,
+    CacheStats,
+    DiskCacheTier,
+)
 from repro.monitor.config import BootFormat, BootProtocol, VmConfig
+from repro.monitor.executor import (
+    BootExecutor,
+    ProcessBootExecutor,
+    ThreadBootExecutor,
+    default_workers,
+    make_boot_executor,
+)
 from repro.monitor.fleet import FleetBoot, FleetManager, FleetReport, StageLatency
 from repro.monitor.leases import InstanceLease, LeaseRegistry
 from repro.monitor.report import BootReport
+from repro.monitor.sharedmem import SharedArtifactStore, SharedBlob
 from repro.monitor.vm_handle import MicroVm
 from repro.monitor.vmm import Firecracker, MonitorProfile, Qemu
 
 __all__ = [
     "BootArtifactCache",
+    "BootExecutor",
     "BootFormat",
     "BootProtocol",
     "BootReport",
+    "CacheScope",
     "CacheStats",
+    "DiskCacheTier",
     "Firecracker",
     "FleetBoot",
     "FleetManager",
@@ -29,7 +45,13 @@ __all__ = [
     "LeaseRegistry",
     "MicroVm",
     "MonitorProfile",
+    "ProcessBootExecutor",
     "Qemu",
+    "SharedArtifactStore",
+    "SharedBlob",
     "StageLatency",
+    "ThreadBootExecutor",
     "VmConfig",
+    "default_workers",
+    "make_boot_executor",
 ]

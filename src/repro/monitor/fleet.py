@@ -29,13 +29,13 @@ from __future__ import annotations
 
 import hashlib
 import random
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.errors import BootFailure, MonitorError
-from repro.monitor.artifact_cache import BootArtifactCache, CacheStats
+from repro.monitor.artifact_cache import BootArtifactCache, CacheScope, CacheStats
 from repro.monitor.config import VmConfig
+from repro.monitor.executor import default_workers, gil_bound_ns, make_boot_executor
 from repro.monitor.report import BootReport
 from repro.monitor.vmm import Firecracker, boot_identity
 from repro.simtime.fleetclock import FleetWallClock
@@ -129,6 +129,8 @@ class FleetReport:
     #: and how many retry attempts the launch spent overall
     failures: tuple[BootFailure, ...] = ()
     retries: int = 0
+    #: which boot backend ran the launch ("thread" | "process")
+    executor: str = "thread"
 
     @property
     def speedup(self) -> float:
@@ -138,6 +140,34 @@ class FleetReport:
     def rate_per_s(self) -> float:
         """Instantiation rate: fleet size over wall-clock seconds."""
         return self.n_vms / (self.makespan_ms / 1e3) if self.makespan_ms else 0.0
+
+    # -- engine model (the BENCH_fleet_mp evidence) ----------------------------
+
+    @property
+    def gil_bound_ms(self) -> float:
+        """Serialized work: timeline steps that hold the GIL, fleet-wide."""
+        return sum(
+            gil_bound_ns(boot.report.timeline) for boot in self.boots
+        ) / 1e6
+
+    @property
+    def engine_makespan_ms(self) -> float:
+        """Modeled wall makespan of the backend that ran this launch.
+
+        A thread engine cannot finish before the GIL-bound work has run
+        end to end on one interpreter, so its makespan is bounded below
+        by :attr:`gil_bound_ms`; a process engine spreads that work
+        across workers and keeps the scheduler's makespan.
+        """
+        if self.executor == "thread":
+            return max(self.makespan_ms, self.gil_bound_ms)
+        return self.makespan_ms
+
+    @property
+    def engine_rate_per_s(self) -> float:
+        """Modeled instantiation rate under the engine makespan."""
+        makespan = self.engine_makespan_ms
+        return self.n_vms / (makespan / 1e3) if makespan else 0.0
 
     @property
     def unique_voffsets(self) -> int:
@@ -175,10 +205,16 @@ class FleetReport:
             "mode": self.mode,
             "n_vms": self.n_vms,
             "workers": self.workers,
+            "executor": self.executor,
             "serial_ms": self.serial_ms,
             "makespan_ms": self.makespan_ms,
             "speedup": self.speedup,
             "rate_per_s": self.rate_per_s,
+            "engine": {
+                "gil_bound_ms": self.gil_bound_ms,
+                "makespan_ms": self.engine_makespan_ms,
+                "rate_per_s": self.engine_rate_per_s,
+            },
             "unique_voffsets": self.unique_voffsets,
             "unique_layouts": self.unique_layouts,
             "cache": {
@@ -188,6 +224,8 @@ class FleetReport:
                 "entries": self.cache.entries,
                 "lookups": self.cache.lookups,
                 "hit_rate": self.cache.hit_rate,
+                "disk_hits": self.cache.disk_hits,
+                "parses": self.cache.parses,
             },
             "stages": {
                 name: {
@@ -259,16 +297,24 @@ class FleetManager:
     def __init__(
         self,
         vmm: Firecracker,
-        workers: int = 8,
+        workers: int | None = None,
         telemetry: Telemetry | None = None,
         auditor: "KaslrAuditor | None" = None,
         tracer=None,
+        executor: str = "thread",
     ) -> None:
+        if workers is None:
+            workers = default_workers(8)
         if workers < 1:
             raise MonitorError(f"fleet needs at least one worker, got {workers}")
         self.vmm = vmm
         self.workers = workers
         self.telemetry = telemetry
+        #: boot backend: a name ("thread" | "process") or any object with
+        #: the executor ``launch`` context-manager interface
+        if isinstance(executor, str):
+            executor = make_boot_executor(executor)
+        self.executor = executor
         #: optional KASLR auditor; fed one layout fingerprint per boot
         self.auditor = auditor
         #: optional :class:`~repro.telemetry.tracing.RequestTracer` scope;
@@ -326,16 +372,21 @@ class FleetManager:
         assert cache is not None  # installed in __init__
         if warm:
             # warm_caches primes the host page cache *and* the artifact
-            # cache entry the pipeline's caching stage will probe
+            # cache entry the pipeline's caching stage will probe; the
+            # priming itself stays outside the launch scope, so the
+            # report's cache stats cover only the fleet's own boots
             self.vmm.warm_caches(cfg)
-        before = cache.stats()
+        # per-launch attribution scope: every boot notes its cache
+        # activity here, so concurrent launches sharing one cache each
+        # report exactly their own traffic (a before/after stats() delta
+        # would blend them)
+        scope = CacheScope()
 
         telemetry = self._telemetry()
         seeds_used = list(seeds)
         reports, failures, total_retries = self._boot_waves(
-            cfg, seeds_used, retries, telemetry
+            cfg, seeds_used, retries, telemetry, scope, warm
         )
-        after = cache.stats()
 
         wall = FleetWallClock(self.workers)
         boots = []
@@ -396,16 +447,12 @@ class FleetManager:
             workers=self.workers,
             boots=tuple(boots),
             stages=_stage_latencies([report for _, _, report in succeeded]),
-            cache=CacheStats(
-                hits=after.hits - before.hits,
-                misses=after.misses - before.misses,
-                evictions=after.evictions - before.evictions,
-                entries=after.entries,
-            ),
+            cache=scope.snapshot(entries=cache.stats().entries),
             serial_ms=wall.serial_ms,
             makespan_ms=wall.makespan_ms,
             failures=tuple(failures),
             retries=total_retries,
+            executor=self.executor.name,
         )
 
     def _boot_waves(
@@ -414,15 +461,20 @@ class FleetManager:
         seeds_used: list[int],
         retries: int,
         telemetry: Telemetry,
+        scope: CacheScope,
+        warm: bool,
     ) -> tuple[list[BootReport | None], list[BootFailure], int]:
         """Boot every index, containing failures and retrying in waves.
 
-        Wave 0 submits every boot; each later wave resubmits the indices
-        that failed, with fresh seeds drawn in sorted-index order from a
-        dedicated retry stream.  Outcomes are collected per future (never
-        ``pool.map``), so one raising boot cannot abort the others, and
-        all retry decisions happen between waves on the caller's thread —
-        results are a pure function of (cfg, seeds, retry stream).
+        One executor launch brackets *all* waves: wave 0 submits every
+        boot, each later wave resubmits the indices that failed — on the
+        same worker pool, so retries reuse workers instead of paying
+        pool (or worker-process) churn per wave.  Fresh retry seeds are
+        drawn in sorted-index order from a dedicated stream.  Outcomes
+        are collected per future (never ``pool.map``), so one raising
+        boot cannot abort the others, and all retry decisions happen
+        between waves on the caller's thread — results are a pure
+        function of (cfg, seeds, retry stream).
         """
         count = len(seeds_used)
         # the retry stream is independent of the launch stream (so a
@@ -437,21 +489,28 @@ class FleetManager:
         last_failure: dict[int, BootFailure] = {}
         pending = [(index, replace(cfg, seed=seed)) for index, seed in enumerate(seeds_used)]
         total_retries = 0
-        for attempt in range(retries + 1):
-            if not pending:
-                break
-            wave_failures: dict[int, BootFailure] = {}
-            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+        with self.executor.launch(
+            vmm=self.vmm,
+            cfg=cfg,
+            workers=self.workers,
+            scope=scope,
+            telemetry=telemetry,
+            profiler=self.vmm.profiler,
+            warm=warm,
+        ) as pool:
+            for attempt in range(retries + 1):
+                if not pending:
+                    break
+                wave_failures: dict[int, BootFailure] = {}
                 futures = [
                     (
                         index,
                         boot_cfg,
                         pool.submit(
-                            self.vmm.boot,
                             boot_cfg,
-                            boot_index=index,
-                            attempt=attempt,
-                            trace=(
+                            index,
+                            attempt,
+                            (
                                 self.tracer.trace(f"boot/{index}")
                                 if self.tracer is not None
                                 else None
@@ -473,17 +532,17 @@ class FleetManager:
                             index=index,
                             seed=boot_cfg.seed,
                         )
-            pending = []
-            for index in sorted(wave_failures):
-                last_failure[index] = wave_failures[index]
-                if attempt < retries:
-                    fresh_seed = retry_rng.getrandbits(64)
-                    seeds_used[index] = fresh_seed
-                    pending.append((index, replace(cfg, seed=fresh_seed)))
-                    total_retries += 1
-                    telemetry.registry.counter(
-                        "repro_fleet_retries_total",
-                        help="Fleet boot retry attempts",
-                    ).inc()
+                pending = []
+                for index in sorted(wave_failures):
+                    last_failure[index] = wave_failures[index]
+                    if attempt < retries:
+                        fresh_seed = retry_rng.getrandbits(64)
+                        seeds_used[index] = fresh_seed
+                        pending.append((index, replace(cfg, seed=fresh_seed)))
+                        total_retries += 1
+                        telemetry.registry.counter(
+                            "repro_fleet_retries_total",
+                            help="Fleet boot retry attempts",
+                        ).inc()
         failures = [last_failure[index] for index in sorted(last_failure) if reports[index] is None]
         return reports, failures, total_retries

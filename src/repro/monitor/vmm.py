@@ -160,7 +160,13 @@ class Firecracker:
             )
 
     def boot(
-        self, cfg: VmConfig, *, boot_index: int = 0, attempt: int = 0, trace=None
+        self,
+        cfg: VmConfig,
+        *,
+        boot_index: int = 0,
+        attempt: int = 0,
+        trace=None,
+        cache_scope=None,
     ) -> BootReport:
         """Run one boot start-to-init; raises on any contract violation.
 
@@ -168,10 +174,16 @@ class Firecracker:
         fault plan (fleet index targeting, retry redraws); both default
         to 0 for standalone boots.  ``trace`` is an optional
         :class:`~repro.telemetry.tracing.TraceContext` the pipeline
-        mirrors its stage spans onto.
+        mirrors its stage spans onto; ``cache_scope`` an optional
+        :class:`~repro.monitor.artifact_cache.CacheScope` the caching
+        stage attributes its activity to.
         """
         report, _vm = self.boot_vm(
-            cfg, boot_index=boot_index, attempt=attempt, trace=trace
+            cfg,
+            boot_index=boot_index,
+            attempt=attempt,
+            trace=trace,
+            cache_scope=cache_scope,
         )
         return report
 
@@ -180,7 +192,13 @@ class Firecracker:
         return build_boot_pipeline(cfg, direct_only=self.profile.direct_only)
 
     def boot_vm(
-        self, cfg: VmConfig, *, boot_index: int = 0, attempt: int = 0, trace=None
+        self,
+        cfg: VmConfig,
+        *,
+        boot_index: int = 0,
+        attempt: int = 0,
+        trace=None,
+        cache_scope=None,
     ) -> tuple[BootReport, "MicroVm"]:
         """Like :meth:`boot`, but also returns a live guest handle."""
         cfg.validate()
@@ -205,6 +223,7 @@ class Firecracker:
             storage=self.storage,
             entropy=self.entropy,
             artifact_cache=self.artifact_cache,
+            cache_scope=cache_scope,
             bus=PortIoBus(clock),
             vmm_name=self.profile.name,
             startup_override_ns=self.profile.startup_ns,

@@ -36,7 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from repro.host.entropy import HostEntropyPool
     from repro.host.storage import HostStorage
     from repro.kernel.verify import VerificationReport
-    from repro.monitor.artifact_cache import BootArtifactCache
+    from repro.monitor.artifact_cache import BootArtifactCache, CacheScope
     from repro.monitor.config import VmConfig
     from repro.monitor.vm_handle import MicroVm
     from repro.snapshot.checkpoint import Snapshot
@@ -123,6 +123,10 @@ class StageContext:
     storage: "HostStorage | None" = None
     entropy: "HostEntropyPool | None" = None
     artifact_cache: "BootArtifactCache | None" = None
+    #: per-launch cache attribution scope; the caching stage notes its
+    #: hits/misses/parses here so concurrent launches sharing one cache
+    #: each account exactly their own traffic
+    cache_scope: "CacheScope | None" = None
     bus: "PortIoBus | None" = None
     #: monitor-profile plumbing (Section 2.2: these vary by VMM)
     vmm_name: str = "monitor"

@@ -148,7 +148,7 @@ class ArtifactCacheStage(Stage):
         cfg = ctx.cfg
         key = cache_key_for(cfg)
         digest = key.image_digest
-        prepared = cache.lookup(key)
+        prepared = cache.lookup(key, scope=ctx.cache_scope)
         if prepared is not None:
             ctx.prepared = prepared
             ctx.prepared_from_cache = True
@@ -162,7 +162,8 @@ class ArtifactCacheStage(Stage):
                 detail=f"cache hit ({digest[:12]})", cache_hit=True
             )
         inner_result = self.inner.run(ctx)
-        cache.insert(key, ctx.prepared)
+        cache.note_parse(scope=ctx.cache_scope)
+        cache.insert(key, ctx.prepared, scope=ctx.cache_scope)
         return replace(inner_result, cache_hit=False)
 
 

@@ -15,6 +15,18 @@ ASLR.  This package provides the three strategies the paper discusses:
 """
 
 from repro.snapshot.checkpoint import Snapshot, SnapshotManager
-from repro.snapshot.zygote import AcquireResult, ZygotePool
+from repro.snapshot.zygote import (
+    AcquireFailure,
+    AcquireResult,
+    ZygoteFleetResult,
+    ZygotePool,
+)
 
-__all__ = ["AcquireResult", "Snapshot", "SnapshotManager", "ZygotePool"]
+__all__ = [
+    "AcquireFailure",
+    "AcquireResult",
+    "Snapshot",
+    "SnapshotManager",
+    "ZygoteFleetResult",
+    "ZygotePool",
+]

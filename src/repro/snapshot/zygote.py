@@ -23,10 +23,11 @@ import enum
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, Iterator, Sequence
 
-from repro.errors import MonitorError
+from repro.errors import MonitorError, failure_kind
 from repro.monitor.config import VmConfig
+from repro.monitor.executor import default_workers
 from repro.monitor.vm_handle import MicroVm
 from repro.monitor.vmm import Firecracker
 from repro.snapshot.checkpoint import Snapshot, SnapshotManager
@@ -49,6 +50,45 @@ class AcquireResult:
     latency_ms: float
     policy: ZygotePolicy
     zygote_index: int
+
+
+@dataclass(frozen=True)
+class AcquireFailure:
+    """One contained acquisition failure, attributed for the caller."""
+
+    position: int
+    seed: int
+    zygote_index: int
+    kind: str
+    error: str
+
+
+@dataclass(frozen=True)
+class ZygoteFleetResult:
+    """Typed partial results of one fan-out acquisition.
+
+    ``acquired`` holds the successful :class:`AcquireResult` records in
+    ``seeds`` order; ``failures`` the contained :class:`AcquireFailure`
+    records, by position.  The sequence interface iterates the successes,
+    so fully-successful call sites keep reading it as the plain list the
+    old API returned.
+    """
+
+    acquired: tuple[AcquireResult, ...]
+    failures: tuple[AcquireFailure, ...] = ()
+
+    def __iter__(self) -> Iterator[AcquireResult]:
+        return iter(self.acquired)
+
+    def __len__(self) -> int:
+        return len(self.acquired)
+
+    def __getitem__(self, item):
+        return self.acquired[item]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
 
 
 @dataclass
@@ -99,31 +139,59 @@ class ZygotePool:
         return self._acquire_from(index, seed)
 
     def acquire_fleet(
-        self, seeds: Sequence[int], workers: int = 4
-    ) -> list[AcquireResult]:
+        self, seeds: Sequence[int], workers: int | None = None
+    ) -> ZygoteFleetResult:
         """Fan out one acquisition per seed over a worker pool.
 
         Unlike repeated :meth:`acquire` calls from racing threads, the
         zygote assignment is fixed by *position* in ``seeds`` (position mod
         pool size under the ``pool`` policy), so the result list is
-        deterministic regardless of thread scheduling.  Results come back
-        in ``seeds`` order.
+        deterministic regardless of thread scheduling.  Successes come
+        back in ``seeds`` order.
+
+        Failure containment mirrors the fleet manager's: outcomes are
+        collected per future (never ``pool.map``, whose iterator rethrows
+        the first exception and abandons the rest), so one raising
+        restore cannot abort the remaining acquisitions — they land in
+        ``ZygoteFleetResult.failures`` as typed records instead.
         """
         if not self._zygotes:
             raise MonitorError("zygote pool is empty; call fill() first")
+        if workers is None:
+            workers = default_workers(4)
         if workers < 1:
             raise MonitorError(f"fleet needs at least one worker, got {workers}")
 
-        def one(position_seed: tuple[int, int]) -> AcquireResult:
-            position, seed = position_seed
+        def zygote_index(position: int) -> int:
             if self.policy is ZygotePolicy.POOL:
-                index = position % len(self._zygotes)
-            else:
-                index = 0
-            return self._acquire_from(index, seed)
+                return position % len(self._zygotes)
+            return 0
 
+        acquired: list[AcquireResult] = []
+        failures: list[AcquireFailure] = []
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(one, enumerate(seeds)))
+            futures = [
+                (position, seed, pool.submit(
+                    self._acquire_from, zygote_index(position), seed
+                ))
+                for position, seed in enumerate(seeds)
+            ]
+            for position, seed, future in futures:
+                try:
+                    acquired.append(future.result())
+                except Exception as exc:  # contained, never fatal
+                    failures.append(
+                        AcquireFailure(
+                            position=position,
+                            seed=seed,
+                            zygote_index=zygote_index(position),
+                            kind=failure_kind(exc),
+                            error=str(exc),
+                        )
+                    )
+        return ZygoteFleetResult(
+            acquired=tuple(acquired), failures=tuple(failures)
+        )
 
     def _acquire_from(self, index: int, seed: int) -> AcquireResult:
         snapshot = self._zygotes[index]

@@ -40,7 +40,7 @@ import json
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Mapping
 
 #: frame placeholders for charges outside a boot / pipeline stage
 NO_BOOT = "-"
@@ -161,6 +161,30 @@ class CostProfiler:
                 )
                 cell[0] += share
                 cell[1] += 1
+
+    def absorb(
+        self,
+        cells: list[tuple[tuple[str, str, str, str], int, int]],
+        boot_ns: Mapping[str, int],
+    ) -> None:
+        """Merge attribution produced in another profiler (or process).
+
+        The process boot engine runs one :class:`CostProfiler` per worker
+        task and ships its cells back as plain tuples
+        ``((boot, stage, principal, kind), ns, count)`` plus the per-boot
+        totals; the parent folds them in here under the same lock
+        ``commit`` uses, so conservation (attributed ns == clock ns)
+        holds across the process boundary exactly as it does within one.
+        """
+        with self._lock:
+            for (boot, stage, principal, kind), ns, count in cells:
+                cell = self._cells.setdefault(
+                    ChargeKey(boot, stage, principal, kind), [0, 0]
+                )
+                cell[0] += int(ns)
+                cell[1] += int(count)
+            for boot, ns in boot_ns.items():
+                self._boot_ns[boot] = self._boot_ns.get(boot, 0) + int(ns)
 
     # -- accessors -------------------------------------------------------------
 

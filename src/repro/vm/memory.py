@@ -143,6 +143,22 @@ class GuestMemory:
         """memmove within guest memory (used by the bootstrap loader)."""
         self.write(dst, self.read(src, length))
 
+    # -- batched typed access ------------------------------------------------------
+
+    def reloc_cursor(self) -> "RelocationCursor":
+        """A chunk-caching accessor for dense read-modify-write sweeps.
+
+        Relocation tables touch hundreds of thousands of sites that are
+        strongly clustered by address; going through :meth:`read`/
+        :meth:`write` pays chunk lookup, slicing, and copying per site.
+        The cursor pins the current chunk and fixes words in place with
+        ``struct.(un)pack_from``, falling back to the slow path only for
+        accesses that straddle a chunk boundary.  Byte semantics are
+        identical; the touched chunks materialize exactly as a write
+        through :meth:`write` would materialize them.
+        """
+        return RelocationCursor(self)
+
     # -- typed access --------------------------------------------------------------
 
     def read_u16(self, paddr: int) -> int:
@@ -162,3 +178,71 @@ class GuestMemory:
 
     def write_u64(self, paddr: int, value: int) -> None:
         self.write(paddr, struct.pack("<Q", value & 0xFFFFFFFFFFFFFFFF))
+
+
+class RelocationCursor:
+    """Word access over one pinned chunk (see :meth:`GuestMemory.reloc_cursor`).
+
+    Reads materialize the chunk like a write would: every relocation read
+    is followed by a write to the same site, so the copy-on-write fault is
+    merely taken one access early.
+    """
+
+    __slots__ = ("_mem", "_index", "_chunk")
+
+    def __init__(self, mem: GuestMemory) -> None:
+        self._mem = mem
+        self._index = -1
+        self._chunk: bytearray | None = None
+
+    def _pin(self, paddr: int, length: int) -> int:
+        """Pin the chunk holding [paddr, paddr+length); returns the offset.
+
+        Returns -1 when the access straddles a chunk boundary (caller
+        falls back to the byte-exact slow path).
+        """
+        offset = paddr & _CHUNK_MASK
+        if offset + length > _CHUNK_SIZE:
+            return -1
+        index = paddr >> _CHUNK_SHIFT
+        if index != self._index:
+            mem = self._mem
+            mem._check(paddr, length)
+            chunk = mem._chunks.get(index)
+            if chunk is None:
+                base = mem._base.get(index)
+                chunk = (
+                    bytearray(base) if base is not None else bytearray(_CHUNK_SIZE)
+                )
+                mem._chunks[index] = chunk
+            self._index = index
+            self._chunk = chunk
+        elif paddr < 0 or paddr + length > self._mem.size:
+            self._mem._check(paddr, length)
+        return offset
+
+    def read_u32(self, paddr: int) -> int:
+        offset = self._pin(paddr, 4)
+        if offset < 0:
+            return self._mem.read_u32(paddr)
+        return struct.unpack_from("<I", self._chunk, offset)[0]
+
+    def read_u64(self, paddr: int) -> int:
+        offset = self._pin(paddr, 8)
+        if offset < 0:
+            return self._mem.read_u64(paddr)
+        return struct.unpack_from("<Q", self._chunk, offset)[0]
+
+    def write_u32(self, paddr: int, value: int) -> None:
+        offset = self._pin(paddr, 4)
+        if offset < 0:
+            self._mem.write_u32(paddr, value)
+            return
+        struct.pack_into("<I", self._chunk, offset, value & 0xFFFFFFFF)
+
+    def write_u64(self, paddr: int, value: int) -> None:
+        offset = self._pin(paddr, 8)
+        if offset < 0:
+            self._mem.write_u64(paddr, value)
+            return
+        struct.pack_into("<Q", self._chunk, offset, value & 0xFFFFFFFFFFFFFFFF)
